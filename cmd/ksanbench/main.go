@@ -1,0 +1,78 @@
+// Command ksanbench regenerates the tables and figures of the paper's
+// evaluation (Section 5) and the appendix observations.
+//
+// Usage:
+//
+//	ksanbench [-scale quick|default|paper] [-only 1,2,...,8|remark10|lemma9|entropy|ablations]
+//
+// With no -only flag the whole suite runs in paper order. Scales differ in
+// trace length and node counts; see DESIGN.md §4 for the exact dimensions
+// and EXPERIMENTS.md for paper-vs-measured values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/ksan-net/ksan/internal/experiments"
+)
+
+func main() {
+	scale := flag.String("scale", "default", "experiment scale: quick, default or paper")
+	only := flag.String("only", "", "comma-separated subset: 1..8, remark10, lemma9, entropy, ablations")
+	flag.Parse()
+
+	sc, err := experiments.ScaleByName(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *only == "" {
+		experiments.RunAll(os.Stdout, sc)
+		return
+	}
+
+	loads := experiments.MakeWorkloads(sc)
+	wants := map[string]bool{}
+	for _, s := range strings.Split(*only, ",") {
+		wants[strings.TrimSpace(s)] = true
+	}
+	anyTable := false
+	for i := 1; i <= 7; i++ {
+		if wants[fmt.Sprint(i)] {
+			anyTable = true
+		}
+	}
+	if anyTable {
+		for i, res := range experiments.Tables1Through7(loads, sc) {
+			if wants[fmt.Sprint(i+1)] {
+				fmt.Println(res.Table.Render())
+			}
+		}
+	}
+	if wants["8"] {
+		_, t8 := experiments.Table8(loads, sc)
+		fmt.Println(t8.Render())
+	}
+	if wants["remark10"] {
+		tbl, all := experiments.CentroidOptimality([]int{10, 30, 60, 100, 250, 500, 999}, []int{2, 3, 5, 10})
+		fmt.Println(tbl.Render())
+		fmt.Printf("centroid tree optimal on every tested (n,k): %v\n\n", all)
+	}
+	if wants["lemma9"] {
+		fmt.Println(experiments.Lemma9Scaling([]int{256, 512, 1024, 2048, 4096}, []int{2, 3, 5, 10}).Render())
+	}
+	if wants["entropy"] {
+		fmt.Println(experiments.EntropyBoundCheck(loads, 3).Render())
+	}
+	if wants["ablations"] {
+		tr := loads.Temporals[0.5]
+		ks := []int{2, 4, 8}
+		fmt.Println(experiments.AblationCostAccounting(tr, ks).Render())
+		fmt.Println(experiments.AblationSemiSplayOnly(tr, ks).Render())
+		fmt.Println(experiments.AblationBlockPolicy(tr, ks).Render())
+		fmt.Println(experiments.AblationInitialTopology(tr, 4).Render())
+	}
+}

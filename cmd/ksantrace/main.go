@@ -1,0 +1,119 @@
+// Command ksantrace generates and inspects communication traces in the
+// CSV format shared by the library and the benchmark harness.
+//
+// Usage:
+//
+//	ksantrace gen -kind uniform|temporal|hpc|projector|facebook|zipf \
+//	              -n 100 -m 100000 [-p 0.75] [-s 1.1] [-seed 1] [-out trace.csv]
+//	ksantrace stats -in trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/ksan-net/ksan/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		gen(os.Args[2:])
+	case "stats":
+		stats(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ksantrace gen|stats [flags]")
+	os.Exit(2)
+}
+
+func gen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	kind := fs.String("kind", "uniform", "workload kind: uniform, temporal, hpc, projector, facebook, zipf")
+	n := fs.Int("n", 100, "number of network nodes")
+	m := fs.Int("m", 100000, "number of requests")
+	p := fs.Float64("p", 0.5, "temporal complexity parameter (temporal only)")
+	s := fs.Float64("s", 1.1, "Zipf exponent (zipf only)")
+	seed := fs.Int64("seed", 1, "generator seed")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	var tr workload.Trace
+	switch *kind {
+	case "uniform":
+		tr = workload.Uniform(*n, *m, *seed)
+	case "temporal":
+		tr = workload.Temporal(*n, *m, *p, *seed)
+	case "hpc":
+		tr = workload.HPCLike(*n, *m, *seed)
+	case "projector":
+		tr = workload.ProjecToRLike(*n, *m, *seed)
+	case "facebook":
+		tr = workload.FacebookLike(*n, *m, *seed)
+	case "zipf":
+		tr = workload.Zipf(*n, *m, *s, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "ksantrace: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := workload.WriteCSV(w, tr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func stats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in := fs.String("in", "", "input trace file (default stdin)")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	tr, err := workload.ReadCSV(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st := workload.Measure(tr)
+	fmt.Printf("trace          %s\n", tr.Name)
+	fmt.Printf("nodes          %d\n", tr.N)
+	fmt.Printf("requests       %d\n", st.Requests)
+	fmt.Printf("distinct pairs %d\n", st.DistinctPairs)
+	fmt.Printf("repeat frac    %.4f\n", st.RepeatFraction)
+	fmt.Printf("src entropy    %.3f bits\n", st.SrcEntropy)
+	fmt.Printf("dst entropy    %.3f bits\n", st.DstEntropy)
+	fmt.Printf("pair entropy   %.3f bits\n", st.PairEntropy)
+	fmt.Printf("top-8 share    %.4f\n", st.Top8PairShare)
+	fmt.Printf("Thm13 bound    %.0f\n", workload.EntropyBound(tr))
+}

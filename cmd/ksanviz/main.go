@@ -1,0 +1,65 @@
+// Command ksanviz builds a topology and emits it as ASCII or Graphviz dot,
+// for inspecting the structures of the paper's figures at any size.
+//
+// Usage:
+//
+//	ksanviz -topo balanced|path|random|centroid|uniform-opt|centroid-net -n 25 -k 3 [-format ascii|dot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/ksan-net/ksan/internal/centroidnet"
+	"github.com/ksan-net/ksan/internal/core"
+	"github.com/ksan-net/ksan/internal/statictree"
+)
+
+func main() {
+	topo := flag.String("topo", "balanced", "balanced, path, random, centroid, uniform-opt or centroid-net")
+	n := flag.Int("n", 25, "number of network nodes")
+	k := flag.Int("k", 3, "arity bound")
+	seed := flag.Int64("seed", 1, "seed (random topology only)")
+	format := flag.String("format", "ascii", "ascii or dot")
+	flag.Parse()
+
+	var (
+		t   *core.Tree
+		err error
+	)
+	switch *topo {
+	case "balanced":
+		t, err = core.NewBalanced(*n, *k)
+	case "path":
+		t, err = core.NewPath(*n, *k)
+	case "random":
+		t, err = core.NewRandom(*n, *k, *seed)
+	case "centroid":
+		t, err = statictree.Centroid(*n, *k)
+	case "uniform-opt":
+		t, _, err = statictree.OptimalUniform(*n, *k)
+	case "centroid-net":
+		var net *centroidnet.Net
+		net, err = centroidnet.New(*n, *k)
+		if err == nil {
+			t = net.Tree()
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "ksanviz: unknown topology %q\n", *topo)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	switch *format {
+	case "ascii":
+		fmt.Print(t.Render())
+	case "dot":
+		fmt.Print(t.DOT())
+	default:
+		fmt.Fprintf(os.Stderr, "ksanviz: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+}

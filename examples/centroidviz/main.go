@@ -1,0 +1,59 @@
+// Centroidviz renders the structural figures of the paper in ASCII:
+//
+//   - Figure 2/9: the static centroid (k+1)-degree tree after re-rooting
+//     at a leaf (a centroid k-ary search tree),
+//   - Figure 7: the 3-SplayNet layout (k=2: c1 with one small SplayNet and
+//     c2; c2 with two SplayNets),
+//   - Figure 8: the general (k+1)-SplayNet layout.
+//
+// Node lines show "id r=[routing array]"; fractional routing elements are
+// the padding cuts that keep every routing array at exactly k−1 entries.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ksan-net/ksan"
+)
+
+func main() {
+	fmt.Println("=== Figure 2/9: centroid k-ary search tree (n=25, k=3) ===")
+	cen, err := ksan.CentroidTree(25, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(cen.Render())
+	_, opt, err := ksan.OptimalUniformTree(25, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uniform total distance: %d (DP optimum: %d — Remark 10)\n\n",
+		ksan.TotalDistanceUniform(cen), opt)
+
+	fmt.Println("=== Figure 7: 3-SplayNet structure (n=23, k=2) ===")
+	three, err := ksan.NewCentroidSplayNet(23, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c1, c2 := three.Centroids()
+	fmt.Printf("c1=%d (root), c2=%d; subtrees stay intact while self-adjusting\n", c1, c2)
+	fmt.Println(three.Tree().Render())
+
+	fmt.Println("=== Figure 8: (k+1)-SplayNet structure (n=33, k=3) ===")
+	gen, err := ksan.NewCentroidSplayNet(33, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c1, c2 = gen.Centroids()
+	fmt.Printf("c1=%d (root, k-1 small subtrees + c2), c2=%d (k subtrees)\n", c1, c2)
+	fmt.Println(gen.Tree().Render())
+
+	fmt.Println("serving a few cross-subtree requests; the centroids never move:")
+	for _, rq := range []ksan.Request{{Src: 1, Dst: 33}, {Src: 2, Dst: 20}, {Src: 1, Dst: 33}} {
+		cost := gen.Serve(rq.Src, rq.Dst)
+		fmt.Printf("  serve (%d,%d): routing %d, rotations %d\n", rq.Src, rq.Dst, cost.Routing, cost.Adjust)
+	}
+	fmt.Println()
+	fmt.Println(gen.Tree().Render())
+}

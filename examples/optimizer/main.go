@@ -1,0 +1,81 @@
+// Offline topology planning: given a measured demand matrix, compute the
+// optimal static routing-based k-ary search tree (the O(n³·k) dynamic
+// program of Section 3.1) and compare it against the oblivious full tree,
+// the centroid tree, and the fast weight-balanced approximation.
+//
+// This is the workflow of a periodically reconfiguring operator: collect a
+// demand snapshot, solve for the best static topology, deploy it until the
+// next epoch (the partially reactive regime the paper describes).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"github.com/ksan-net/ksan"
+)
+
+func main() {
+	const (
+		nodes    = 60
+		requests = 50_000
+		k        = 3
+	)
+	trace := ksan.ProjecToRWorkload(nodes, requests, 7)
+	demand := ksan.DemandFromTrace(trace)
+	fmt.Printf("demand snapshot: %d nodes, %d requests, %d distinct pairs\n\n",
+		nodes, requests, len(demand.Pairs))
+
+	opt, optCost, err := ksan.OptimalStaticTree(demand, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, err := ksan.FullTree(nodes, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cen, err := ksan.CentroidTree(nodes, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wb, wbCost, err := ksan.WeightBalancedTree(demand, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fullCost := ksan.TotalDistance(full, demand)
+	cenCost := ksan.TotalDistance(cen, demand)
+	fmt.Println("total distance under the snapshot demand (lower is better):")
+	fmt.Printf("  optimal (DP, Theorem 2)      %10d  1.00x\n", optCost)
+	fmt.Printf("  weight-balanced (approx)     %10d  %.2fx\n", wbCost, float64(wbCost)/float64(optCost))
+	fmt.Printf("  centroid tree (Theorem 8)    %10d  %.2fx\n", cenCost, float64(cenCost)/float64(optCost))
+	fmt.Printf("  full %d-ary tree (oblivious)  %10d  %.2fx\n", k, fullCost, float64(fullCost)/float64(optCost))
+
+	_ = wb
+	fmt.Println("\nhot pairs and their distance in the optimal topology:")
+	pairs := append([]ksanPair(nil), toPairs(demand)...)
+	sortByCountDesc(pairs)
+	for i := 0; i < 5 && i < len(pairs); i++ {
+		pc := pairs[i]
+		fmt.Printf("  %3d → %-3d  weight %6d  distance %d\n",
+			pc.src, pc.dst, pc.count, opt.DistanceID(pc.src, pc.dst))
+	}
+}
+
+type ksanPair struct {
+	src, dst int
+	count    int64
+}
+
+func toPairs(d *ksan.Demand) []ksanPair {
+	out := make([]ksanPair, len(d.Pairs))
+	for i, pc := range d.Pairs {
+		out[i] = ksanPair{pc.Src, pc.Dst, pc.Count}
+	}
+	return out
+}
+
+func sortByCountDesc(p []ksanPair) {
+	sort.Slice(p, func(i, j int) bool { return p[i].count > p[j].count })
+}

@@ -1,0 +1,28 @@
+// Package core implements the k-ary search tree network that underlies all
+// self-adjusting network designs in this repository.
+//
+// A k-ary search tree network (Feder et al., "Toward Self-Adjusting k-ary
+// Search Tree Networks", Definition 1) is a rooted tree over n network nodes
+// with identifiers 1..n. Each node stores
+//
+//   - its identifier (permanent: the id↔node assignment is a bijection and
+//     never changes, because each tree node represents a physical network
+//     node such as a top-of-rack switch), and
+//   - a routing array of at most k−1 routing elements, which partitions the
+//     node's key interval into at most k child intervals.
+//
+// Routing elements use threshold semantics: a node with strictly increasing
+// thresholds t1 < t2 < ... < tm has m+1 child slots, and slot i covers the
+// ids in (t(i-1), t(i)], with t0 and t(m+1) given by the node's position in
+// its parent. A node's own identifier may lie strictly inside one of its
+// child intervals; the subtree in that slot then simply excludes the id
+// (this models the paper's remark that "the key does not necessarily belong
+// in the routing array"). Greedy search from the root — compare the target
+// id against the thresholds and descend — always locates every node, which
+// is what makes local greedy routing possible in spite of reconfigurations.
+//
+// The package provides the identifier-preserving rotations of Section 4 of
+// the paper (k-semi-splay and k-splay) via the generalized d-node rebuild
+// described at the end of Section 4.1, plus construction, validation,
+// distance/LCA queries, greedy search, and ASCII rendering.
+package core

@@ -1,0 +1,81 @@
+package core
+
+// Node is a single network node participating in a k-ary search tree
+// topology. The identifier is permanent; the routing array (thresholds) and
+// adjacency (parent/children) change under rotations.
+//
+// Invariant: len(children) == len(thresholds)+1. Child slots may hold nil
+// when the corresponding key interval contains no ids.
+type Node struct {
+	id         int
+	parent     *Node
+	thresholds []int
+	children   []*Node
+}
+
+// ID returns the node's permanent identifier.
+func (nd *Node) ID() int { return nd.id }
+
+// Parent returns the node's current parent, or nil for the tree root.
+func (nd *Node) Parent() *Node { return nd.parent }
+
+// RoutingArray returns a copy of the node's current routing elements in
+// increasing order. The slice has at most k−1 entries.
+func (nd *Node) RoutingArray() []int {
+	out := make([]int, len(nd.thresholds))
+	copy(out, nd.thresholds)
+	return out
+}
+
+// NumSlots returns the number of child slots (len(routing array)+1).
+func (nd *Node) NumSlots() int { return len(nd.children) }
+
+// Child returns the child in slot i, which may be nil.
+func (nd *Node) Child(i int) *Node { return nd.children[i] }
+
+// ChildCount returns the number of non-nil children.
+func (nd *Node) ChildCount() int {
+	c := 0
+	for _, ch := range nd.children {
+		if ch != nil {
+			c++
+		}
+	}
+	return c
+}
+
+// IsLeaf reports whether the node currently has no children.
+func (nd *Node) IsLeaf() bool { return nd.ChildCount() == 0 }
+
+// Degree returns the node's degree in the underlying (undirected) network
+// topology: its child count plus one for the parent link, if any.
+func (nd *Node) Degree() int {
+	d := nd.ChildCount()
+	if nd.parent != nil {
+		d++
+	}
+	return d
+}
+
+// slotFor returns the child slot index that the search property assigns to
+// the target cut-space value: the number of thresholds strictly less than
+// the value, so that it falls in the interval (t(slot-1), t(slot)].
+func (nd *Node) slotFor(value int) int {
+	s := 0
+	for _, t := range nd.thresholds {
+		if t < value {
+			s++
+		}
+	}
+	return s
+}
+
+// childIndex returns the slot currently occupied by child c, or -1.
+func (nd *Node) childIndex(c *Node) int {
+	for i, ch := range nd.children {
+		if ch == c {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,241 @@
+package core
+
+import "fmt"
+
+// BlockPolicy selects where a rebuilt node's block of consecutive routing
+// elements is placed relative to its identifier. The default, BlockCentered,
+// centers the block on the id; BlockLeftmost always takes the leftmost
+// feasible block (the block-placement ablation compares the two).
+type BlockPolicy int
+
+const (
+	// BlockCentered centers each node's routing-element block on its id.
+	BlockCentered BlockPolicy = iota
+	// BlockLeftmost takes the leftmost feasible block for each node.
+	BlockLeftmost
+)
+
+// SetBlockPolicy selects the block-placement strategy used by rotations.
+func (t *Tree) SetBlockPolicy(p BlockPolicy) { t.blockPolicy = p }
+
+// rebuild restructures the fragment consisting of the parent-child path
+// path[0] (topmost) … path[d-1] (deepest) so that the deepest node becomes
+// the fragment root, implementing the paper's generalized rotation
+// (Section 4.1): merge the d routing arrays in in-order, then re-emit the
+// first d-1 nodes bottom-up, each taking a block of consecutive routing
+// elements whose induced gap covers its identifier; the final node takes
+// the remaining elements and the fragment's slot at the old parent.
+//
+// With d=2 this is k-semi-splay (the zig generalization); with d=3 it is
+// k-splay (the zig-zig/zig-zag generalization): when the two lower blocks
+// end up disjoint the result matches the paper's "first case" (both become
+// children of the new top), and when the second block's gap swallows the
+// first node's gap it matches the "second case" (a chain).
+//
+// Node identifiers never change; only routing arrays and adjacency do.
+func (t *Tree) rebuild(path []*Node) {
+	d := len(path)
+	if d < 2 {
+		return
+	}
+	top := path[0]
+	oldParent := top.parent
+	oldSlot := -1
+	if oldParent != nil {
+		oldSlot = oldParent.childIndex(top)
+	}
+
+	// In-order expansion of the fragment: routing elements interleaved with
+	// hanging subtrees. Path nodes are expanded inline; everything else is
+	// an atomic hanging subtree (possibly nil for an empty slot).
+	elems := make([]int, 0, d*(t.k-1))
+	subs := make([]*Node, 0, d*t.k)
+	onPath := func(nd *Node) bool {
+		for _, pn := range path {
+			if pn == nd {
+				return true
+			}
+		}
+		return false
+	}
+	var expand func(nd *Node)
+	expand = func(nd *Node) {
+		for i, ch := range nd.children {
+			if i > 0 {
+				elems = append(elems, nd.thresholds[i-1])
+			}
+			if ch != nil && onPath(ch) {
+				expand(ch)
+			} else {
+				subs = append(subs, ch)
+			}
+		}
+	}
+	expand(top)
+
+	var before map[edge]struct{}
+	if t.trackEdges {
+		before = t.fragmentEdges(path)
+	}
+
+	// Bottom-up reconstruction: path[0..d-2] become interior/leaf nodes of
+	// the fragment; path[d-1] becomes the fragment root.
+	for i := 0; i < d-1; i++ {
+		x := path[i]
+		remNodes := d - i
+		b := blockSize(len(elems), remNodes, t.k-1)
+		j := intervalIndex(elems, t.idValue(x.id))
+		s := t.blockStart(j, b, len(elems))
+
+		x.thresholds = append(x.thresholds[:0:0], elems[s:s+b]...)
+		x.children = append(x.children[:0:0], subs[s:s+b+1]...)
+		for _, ch := range x.children {
+			if ch != nil {
+				ch.parent = x
+			}
+		}
+		elems = append(elems[:s], elems[s+b:]...)
+		subs[s] = x
+		subs = append(subs[:s+1], subs[s+b+1:]...)
+	}
+	newTop := path[d-1]
+	newTop.thresholds = append(newTop.thresholds[:0:0], elems...)
+	newTop.children = append(newTop.children[:0:0], subs...)
+	for _, ch := range newTop.children {
+		if ch != nil {
+			ch.parent = newTop
+		}
+	}
+	newTop.parent = oldParent
+	if oldParent == nil {
+		t.root = newTop
+	} else {
+		oldParent.children[oldSlot] = newTop
+	}
+
+	// Elementary-rotation accounting: a d-node rebuild lifts the deepest
+	// node d-1 levels, the work of d-1 parent-child flips (a k-semi-splay
+	// counts 1, a k-splay counts 2, exactly like zig vs zig-zig/zig-zag in
+	// binary splay trees).
+	t.rotations += int64(d - 1)
+	if t.trackEdges {
+		after := t.fragmentEdges(path)
+		t.edgeChanges += int64(symmetricDiff(before, after))
+	}
+}
+
+// SemiSplay performs one k-semi-splay rotation: y, a non-root node, becomes
+// the parent of its current parent. It returns an error if y is the root.
+func (t *Tree) SemiSplay(y *Node) error {
+	if y.parent == nil {
+		return fmt.Errorf("core: cannot semi-splay the root (node %d)", y.id)
+	}
+	t.rebuild([]*Node{y.parent, y})
+	return nil
+}
+
+// SplayStep performs one k-splay rotation: z, a node with a grandparent,
+// moves to the top of the three-node fragment (grandparent, parent, z).
+func (t *Tree) SplayStep(z *Node) error {
+	if z.parent == nil || z.parent.parent == nil {
+		return fmt.Errorf("core: k-splay needs a grandparent (node %d)", z.id)
+	}
+	t.rebuild([]*Node{z.parent.parent, z.parent, z})
+	return nil
+}
+
+// blockSize picks the number of routing elements the next rebuilt node
+// takes: balanced across the remaining nodes, but always leaving at most
+// maxB elements for the nodes still to be placed (feasibility) and never
+// exceeding maxB itself.
+func blockSize(avail, remNodes, maxB int) int {
+	b := (avail + remNodes - 1) / remNodes // ceil: balanced share
+	if lo := avail - maxB*(remNodes-1); b < lo {
+		b = lo
+	}
+	if b > maxB {
+		b = maxB
+	}
+	if b > avail {
+		b = avail
+	}
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// intervalIndex returns the index of the interval of the sorted element
+// array that contains the cut-space value under threshold semantics: the
+// number of elements strictly less than the value.
+func intervalIndex(elems []int, value int) int {
+	j := 0
+	for _, e := range elems {
+		if e < value {
+			j++
+		}
+	}
+	return j
+}
+
+// blockStart chooses the starting index of a b-element block such that the
+// induced gap (the merged interval left after removing the block) contains
+// the id sitting in interval j. Feasible starts are [max(0,j-b), min(j,L-b)].
+func (t *Tree) blockStart(j, b, L int) int {
+	lo := j - b
+	if lo < 0 {
+		lo = 0
+	}
+	hi := j
+	if hi > L-b {
+		hi = L - b
+	}
+	if t.blockPolicy == BlockLeftmost {
+		return lo
+	}
+	s := j - b/2
+	if s < lo {
+		s = lo
+	}
+	if s > hi {
+		s = hi
+	}
+	return s
+}
+
+type edge struct{ parent, child int }
+
+// fragmentEdges snapshots the parent-child links incident to the fragment:
+// the links from each path node to its children and to its parent (0 when
+// the node is the tree root).
+func (t *Tree) fragmentEdges(path []*Node) map[edge]struct{} {
+	set := make(map[edge]struct{}, len(path)*t.k)
+	for _, nd := range path {
+		for _, ch := range nd.children {
+			if ch != nil {
+				set[edge{nd.id, ch.id}] = struct{}{}
+			}
+		}
+		pid := 0
+		if nd.parent != nil {
+			pid = nd.parent.id
+		}
+		set[edge{pid, nd.id}] = struct{}{}
+	}
+	return set
+}
+
+func symmetricDiff(a, b map[edge]struct{}) int {
+	d := 0
+	for e := range a {
+		if _, ok := b[e]; !ok {
+			d++
+		}
+	}
+	for e := range b {
+		if _, ok := a[e]; !ok {
+			d++
+		}
+	}
+	return d
+}

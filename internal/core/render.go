@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws the tree as indented ASCII, one node per line, showing each
+// node's identifier and routing array. It reproduces the node layout of the
+// paper's structure figures (Fig. 1–8) for small instances and is used by
+// the example programs.
+func (t *Tree) Render() string {
+	var b strings.Builder
+	t.renderNode(&b, t.root, "", "")
+	return b.String()
+}
+
+func (t *Tree) renderNode(b *strings.Builder, nd *Node, prefix, childPrefix string) {
+	fmt.Fprintf(b, "%s%d", prefix, nd.id)
+	if len(nd.thresholds) > 0 {
+		b.WriteString(" r=[")
+		for i, th := range nd.thresholds {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			// Render cuts in id space; non-integer cuts get one decimal.
+			if th%t.scale == 0 {
+				fmt.Fprintf(b, "%d", th/t.scale)
+			} else {
+				fmt.Fprintf(b, "%.1f", float64(th)/float64(t.scale))
+			}
+		}
+		b.WriteString("]")
+	}
+	b.WriteByte('\n')
+	var kids []*Node
+	for _, ch := range nd.children {
+		if ch != nil {
+			kids = append(kids, ch)
+		}
+	}
+	for i, ch := range kids {
+		if i == len(kids)-1 {
+			t.renderNode(b, ch, childPrefix+"└─ ", childPrefix+"   ")
+		} else {
+			t.renderNode(b, ch, childPrefix+"├─ ", childPrefix+"│  ")
+		}
+	}
+}
+
+// Parents returns the parent id of every node (0 for the root), a compact
+// serialization of the topology used by tests and trace tooling.
+func (t *Tree) Parents() []int {
+	out := make([]int, t.n+1)
+	for id := 1; id <= t.n; id++ {
+		if p := t.byID[id].parent; p != nil {
+			out[id] = p.id
+		}
+	}
+	return out
+}
+
+// DOT serializes the topology in Graphviz dot format: nodes are labelled
+// with their identifier and routing array, edges follow the tree links.
+// Useful for visualizing small networks outside the terminal.
+func (t *Tree) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph ksan {\n  node [shape=record];\n")
+	var walk func(nd *Node)
+	walk = func(nd *Node) {
+		fmt.Fprintf(&b, "  n%d [label=\"%d", nd.id, nd.id)
+		if len(nd.thresholds) > 0 {
+			b.WriteString("|")
+			for i, th := range nd.thresholds {
+				if i > 0 {
+					b.WriteByte(' ')
+				}
+				if th%t.scale == 0 {
+					fmt.Fprintf(&b, "%d", th/t.scale)
+				} else {
+					fmt.Fprintf(&b, "%.1f", float64(th)/float64(t.scale))
+				}
+			}
+		}
+		b.WriteString("\"];\n")
+		for _, ch := range nd.children {
+			if ch != nil {
+				fmt.Fprintf(&b, "  n%d -> n%d;\n", nd.id, ch.id)
+				walk(ch)
+			}
+		}
+	}
+	walk(t.root)
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderShowsAllNodes(t *testing.T) {
+	tr := MustNewBalanced(13, 3)
+	out := tr.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 13 {
+		t.Fatalf("render has %d lines, want 13:\n%s", len(lines), out)
+	}
+	// The balanced root follows its first child's subtree: sizes [4,4,4]
+	// put the root at id 5.
+	if !strings.HasPrefix(lines[0], "5") {
+		t.Errorf("first line %q should be the root", lines[0])
+	}
+}
+
+func TestRenderFractionalCuts(t *testing.T) {
+	// Leaf padding cuts are fractional in id space and must render with a
+	// decimal point.
+	tr := MustNewBalanced(7, 2)
+	out := tr.Render()
+	if !strings.Contains(out, ".5") {
+		t.Errorf("expected fractional padding cuts in render:\n%s", out)
+	}
+}
+
+func TestDOTWellFormed(t *testing.T) {
+	tr := MustNewBalanced(10, 2)
+	dot := tr.DOT()
+	if !strings.HasPrefix(dot, "digraph ksan {") || !strings.HasSuffix(dot, "}\n") {
+		t.Fatalf("malformed dot output:\n%s", dot)
+	}
+	// n nodes and n-1 edges.
+	if got := strings.Count(dot, "label="); got != 10 {
+		t.Errorf("%d node labels, want 10", got)
+	}
+	if got := strings.Count(dot, "->"); got != 9 {
+		t.Errorf("%d edges, want 9", got)
+	}
+}
+
+func TestSearchFromRootRejectsOutOfRange(t *testing.T) {
+	tr := MustNewBalanced(5, 2)
+	if _, err := tr.SearchFromRoot(0); err == nil {
+		t.Error("id 0 accepted")
+	}
+	if _, err := tr.SearchFromRoot(6); err == nil {
+		t.Error("id beyond n accepted")
+	}
+}
+
+func TestSearchFromRootSelf(t *testing.T) {
+	tr := MustNewBalanced(9, 3)
+	root := tr.Root().ID()
+	path, err := tr.SearchFromRoot(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 1 || path[0] != root {
+		t.Errorf("search for the root returned %v", path)
+	}
+}
+
+func TestRoutePathAfterAdjustments(t *testing.T) {
+	// RoutePath must stay consistent with Distance while the tree churns.
+	tr := MustNewBalanced(40, 3)
+	for i := 0; i < 50; i++ {
+		u := 1 + (i*11)%40
+		v := 1 + (i*17+5)%40
+		if u == v {
+			continue
+		}
+		a, b := tr.NodeByID(u), tr.NodeByID(v)
+		w := tr.LCA(a, b)
+		tr.SplayUntilParent(a, w.Parent())
+		if b != a {
+			tr.SplayUntilParent(b, a)
+		}
+		p := tr.RoutePath(u, v)
+		if len(p)-1 != tr.DistanceID(u, v) {
+			t.Fatalf("route path %v inconsistent with distance %d", p, tr.DistanceID(u, v))
+		}
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	tr := MustNewBalanced(13, 3)
+	root := tr.Root()
+	if root.Parent() != nil {
+		t.Error("root has a parent")
+	}
+	if got := len(root.RoutingArray()); got != 2 {
+		t.Errorf("root routing array has %d entries, want k-1=2", got)
+	}
+	if root.IsLeaf() {
+		t.Error("root of a 13-node tree is a leaf")
+	}
+	if root.Degree() != root.ChildCount() {
+		t.Error("root degree must equal its child count")
+	}
+	// RoutingArray must be a copy: mutating it must not corrupt the tree.
+	ra := root.RoutingArray()
+	ra[0] = -999
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("mutating the RoutingArray copy corrupted the tree: %v", err)
+	}
+	// A leaf's degree counts only the parent link.
+	var leaf *Node
+	for id := 1; id <= 13; id++ {
+		if tr.NodeByID(id).IsLeaf() {
+			leaf = tr.NodeByID(id)
+			break
+		}
+	}
+	if leaf.Degree() != 1 {
+		t.Errorf("leaf degree %d, want 1", leaf.Degree())
+	}
+}
+
+func TestDegreeBoundedByKPlusOne(t *testing.T) {
+	// The physical degree bound that motivates bounded-degree SANs: at most
+	// k children plus one parent.
+	tr := MustNewBalanced(100, 4)
+	for i := 0; i < 60; i++ {
+		x := tr.NodeByID(1 + (i*37)%100)
+		tr.SplayUntilParent(x, nil)
+	}
+	for id := 1; id <= 100; id++ {
+		if d := tr.NodeByID(id).Degree(); d > 5 {
+			t.Fatalf("node %d degree %d exceeds k+1", id, d)
+		}
+	}
+}
+
+func TestScaleAccessor(t *testing.T) {
+	tr := MustNewBalanced(10, 7)
+	if tr.Scale() != 7 {
+		t.Errorf("Scale()=%d, want k", tr.Scale())
+	}
+}

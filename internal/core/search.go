@@ -1,0 +1,101 @@
+package core
+
+import "fmt"
+
+// SearchFromRoot performs the greedy search-property lookup for id starting
+// at the root, exactly as a packet with destination id would be forwarded
+// downward. It returns the sequence of visited node ids ending at id, or an
+// error if the search property is violated (the packet falls into an empty
+// slot).
+func (t *Tree) SearchFromRoot(id int) ([]int, error) {
+	if id < 1 || id > t.n {
+		return nil, fmt.Errorf("core: id %d out of range 1..%d", id, t.n)
+	}
+	path := make([]int, 0, 8)
+	nd := t.root
+	for {
+		path = append(path, nd.id)
+		if nd.id == id {
+			return path, nil
+		}
+		ch := nd.children[nd.slotFor(t.idValue(id))]
+		if ch == nil {
+			return path, fmt.Errorf("core: search for %d dead-ends at node %d (search property violated)", id, nd.id)
+		}
+		nd = ch
+	}
+}
+
+// RoutePath returns the node ids along the routing path from u to v: the
+// reverse-search path up to their lowest common ancestor followed by the
+// greedy search path down to v. Its length minus one equals Distance.
+func (t *Tree) RoutePath(u, v int) []int {
+	a, b := t.byID[u], t.byID[v]
+	w := t.LCA(a, b)
+	var up []int
+	for nd := a; nd != w; nd = nd.parent {
+		up = append(up, nd.id)
+	}
+	up = append(up, w.id)
+	var down []int
+	for nd := b; nd != w; nd = nd.parent {
+		down = append(down, nd.id)
+	}
+	for i := len(down) - 1; i >= 0; i-- {
+		up = append(up, down[i])
+	}
+	return up
+}
+
+// NextHop returns the neighbor to which a node holding a packet for dst
+// forwards it: the parent while the packet still travels up toward the
+// lowest common ancestor, then the child whose interval covers dst.
+//
+// In a routing-based tree (every node id appears in its own routing array)
+// this decision is computable from the routing array alone. In the general
+// variant a node's interval may be punctured by an ancestor's id, so a
+// deployment additionally keeps, per node, the ids of ancestors lying
+// inside its interval (at most depth-many, maintained with O(k) work per
+// rotation); the decision below is exactly the one that bookkeeping yields.
+func (t *Tree) NextHop(at *Node, dst int) (*Node, error) {
+	if at.id == dst {
+		return nil, fmt.Errorf("core: node %d already holds the packet for itself", dst)
+	}
+	if dst < 1 || dst > t.n {
+		return nil, fmt.Errorf("core: destination %d out of range 1..%d", dst, t.n)
+	}
+	w := t.LCA(at, t.byID[dst])
+	if at != w {
+		return at.parent, nil
+	}
+	ch := at.children[at.slotFor(t.idValue(dst))]
+	if ch == nil {
+		return nil, fmt.Errorf("core: search property violated at node %d for destination %d", at.id, dst)
+	}
+	return ch, nil
+}
+
+// slotInterval reconstructs the cut-space interval (lo, hi] of the slot nd
+// occupies at its parent (the whole cut space for the root). O(depth·k).
+func (t *Tree) slotInterval(nd *Node) (lo, hi int) {
+	lo, hi = 0, t.n*t.scale
+	path := make([]*Node, 0, 16)
+	for p := nd; p != nil; p = p.parent {
+		path = append(path, p)
+	}
+	for i := len(path) - 1; i > 0; i-- {
+		parent, child := path[i], path[i-1]
+		slot := parent.childIndex(child)
+		if slot > 0 {
+			if l := parent.thresholds[slot-1]; l > lo {
+				lo = l
+			}
+		}
+		if slot < len(parent.thresholds) {
+			if h := parent.thresholds[slot]; h < hi {
+				hi = h
+			}
+		}
+	}
+	return lo, hi
+}

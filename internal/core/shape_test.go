@@ -1,0 +1,165 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// parentOf returns the parent id of id, or 0.
+func parentOf(t *Tree, id int) int {
+	if p := t.NodeByID(id).Parent(); p != nil {
+		return p.ID()
+	}
+	return 0
+}
+
+// buildChain3 builds the 3-node k=2 tree g→p→x (x deepest) in the given
+// id order, with four leaf-free slots, for rotation shape tests.
+func buildChain3(t *testing.T, gID, pID, xID int, pSlotOfG, xSlotOfP int) *Tree {
+	t.Helper()
+	// Construct via Spec: chain shapes on ids {1,2,3}.
+	x := &Spec{ID: xID}
+	var p *Spec
+	if xSlotOfP == 0 {
+		p = &Spec{ID: pID, Thresholds: []int{pID}, Children: []*Spec{x, nil}}
+	} else {
+		p = &Spec{ID: pID, Thresholds: []int{pID}, Children: []*Spec{nil, x}}
+	}
+	var g *Spec
+	if pSlotOfG == 0 {
+		g = &Spec{ID: gID, Thresholds: []int{gID}, Children: []*Spec{p, nil}}
+	} else {
+		g = &Spec{ID: gID, Thresholds: []int{gID}, Children: []*Spec{nil, p}}
+	}
+	tree, err := Build(2, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestKSplayZigZigShape(t *testing.T) {
+	// g=3, p=2 (left child), x=1 (left child of p): classic zig-zig makes
+	// the chain 1→2→3.
+	tr := buildChain3(t, 3, 2, 1, 0, 0)
+	if err := tr.SplayStep(tr.NodeByID(1)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root().ID() != 1 {
+		t.Fatalf("root is %d, want 1", tr.Root().ID())
+	}
+	if parentOf(tr, 2) != 1 || parentOf(tr, 3) != 2 {
+		t.Errorf("zig-zig shape wrong: parent(2)=%d parent(3)=%d, want 1,2",
+			parentOf(tr, 2), parentOf(tr, 3))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKSplayZigZagShape(t *testing.T) {
+	// g=3, p=1 (left child), x=2 (right child of p): classic zig-zag makes
+	// x the root with p and g as its two children.
+	tr := buildChain3(t, 3, 1, 2, 0, 1)
+	if err := tr.SplayStep(tr.NodeByID(2)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root().ID() != 2 {
+		t.Fatalf("root is %d, want 2", tr.Root().ID())
+	}
+	if parentOf(tr, 1) != 2 || parentOf(tr, 3) != 2 {
+		t.Errorf("zig-zag shape wrong: parent(1)=%d parent(3)=%d, want 2,2",
+			parentOf(tr, 1), parentOf(tr, 3))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSemiSplayZigShape(t *testing.T) {
+	// p=2 root, x=1 left child: zig swaps them.
+	x := &Spec{ID: 1}
+	p := &Spec{ID: 2, Thresholds: []int{2}, Children: []*Spec{x, nil}}
+	tr, err := Build(2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SemiSplay(tr.NodeByID(1)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root().ID() != 1 || parentOf(tr, 2) != 1 {
+		t.Errorf("zig shape wrong: root=%d parent(2)=%d", tr.Root().ID(), parentOf(tr, 2))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplayUntilParentPanicsOnNonAncestor(t *testing.T) {
+	tr := MustNewBalanced(7, 2)
+	// Two leaves: neither is an ancestor of the other.
+	var leaves []*Node
+	for id := 1; id <= 7; id++ {
+		if tr.NodeByID(id).IsLeaf() {
+			leaves = append(leaves, tr.NodeByID(id))
+		}
+	}
+	if len(leaves) < 2 {
+		t.Skip("need two leaves")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected a panic when stop is not an ancestor")
+		}
+	}()
+	tr.SplayUntilParent(leaves[0], leaves[1])
+}
+
+func TestHigherAritySplayKeepsArraysFull(t *testing.T) {
+	// The full-routing-array invariant is what prevents degeneration into
+	// unary chains; verify it survives a long adversarial splay sequence.
+	tr := MustNewBalanced(200, 6)
+	for i := 0; i < 300; i++ {
+		tr.SplayUntilParent(tr.NodeByID(1+(i*61)%200), nil)
+	}
+	for id := 1; id <= 200; id++ {
+		if got := len(tr.NodeByID(id).RoutingArray()); got != 5 {
+			t.Fatalf("node %d carries %d routing elements, want k-1=5", id, got)
+		}
+	}
+	// And the tree must remain shallow-ish: no unary-chain degeneration.
+	if h := tr.Height(); h > 40 {
+		t.Errorf("height %d suggests chain degeneration", h)
+	}
+}
+
+func TestRenderAndDOTAgreeOnEdges(t *testing.T) {
+	tr := MustNewBalanced(9, 3)
+	dot := tr.DOT()
+	// Every parent-child pair in Parents() must appear as an edge in DOT.
+	par := tr.Parents()
+	for id := 1; id <= 9; id++ {
+		if par[id] == 0 {
+			continue
+		}
+		if !strings.Contains(dot, edgeStr(par[id], id)) {
+			t.Errorf("edge %d->%d missing from DOT", par[id], id)
+		}
+	}
+}
+
+func edgeStr(a, b int) string {
+	return "n" + itoa(a) + " -> n" + itoa(b) + ";"
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var digits []byte
+	for v > 0 {
+		digits = append([]byte{byte('0' + v%10)}, digits...)
+		v /= 10
+	}
+	return string(digits)
+}

@@ -1,0 +1,202 @@
+package core
+
+import "fmt"
+
+// Spec is a declarative description of a k-ary search tree used by the
+// static builders (full tree, DP optimum, centroid tree) and by tests.
+// Thresholds are given in id space (a threshold t means "ids ≤ t go left of
+// this boundary"); Children has len(Thresholds)+1 entries (nil entries
+// denote empty slots). As a convenience a leaf may leave Children nil.
+//
+// Build converts thresholds into the tree's internal scaled cut space and
+// pads every routing array to exactly k−1 elements (see Build).
+type Spec struct {
+	ID         int
+	Thresholds []int
+	Children   []*Spec
+}
+
+// Build materializes a Spec into a Tree with arity bound k, verifying the
+// search property and that the identifiers are exactly 1..n.
+//
+// Internally, routing elements are cuts in a value space scaled by k: id i
+// sits at value i·k, and a spec threshold t becomes the cut t·k. Every node
+// is then padded to exactly k−1 routing elements with cuts placed in the
+// empty sliver just below the node's own id value (which never separates
+// two ids, because ids are k apart in cut space). Full routing arrays match
+// the paper's node model (Fig. 1) and are preserved by rotations, which
+// redistribute but never consume routing elements.
+func Build(k int, spec *Spec) (*Tree, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("core: nil spec")
+	}
+	n := countSpec(spec)
+	if err := checkIDRange(n, k); err != nil {
+		return nil, err
+	}
+	t := &Tree{k: k, n: n, scale: k, byID: make([]*Node, n+1)}
+	root, err := t.buildSpec(spec, nil, 0, n*k)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	for id := 1; id <= n; id++ {
+		if t.byID[id] == nil {
+			return nil, fmt.Errorf("core: spec is missing id %d", id)
+		}
+	}
+	return t, nil
+}
+
+// MustBuild is Build for specs known to be valid; it panics on error.
+func MustBuild(k int, spec *Spec) *Tree {
+	t, err := Build(k, spec)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func countSpec(s *Spec) int {
+	if s == nil {
+		return 0
+	}
+	n := 1
+	for _, ch := range s.Children {
+		n += countSpec(ch)
+	}
+	return n
+}
+
+// specIDRange returns the minimum and maximum id in the spec subtree.
+func specIDRange(s *Spec) (lo, hi int) {
+	lo, hi = s.ID, s.ID
+	for _, ch := range s.Children {
+		if ch == nil {
+			continue
+		}
+		clo, chi := specIDRange(ch)
+		if clo < lo {
+			lo = clo
+		}
+		if chi > hi {
+			hi = chi
+		}
+	}
+	return lo, hi
+}
+
+// buildSpec constructs the node for s whose slot covers the cut-space
+// interval (lo, hi].
+func (t *Tree) buildSpec(s *Spec, parent *Node, lo, hi int) (*Node, error) {
+	iv := s.ID * t.scale
+	if s.ID < 1 || s.ID > t.n {
+		return nil, fmt.Errorf("core: id %d out of range 1..%d", s.ID, t.n)
+	}
+	if iv <= lo || iv > hi {
+		return nil, fmt.Errorf("core: id %d outside its slot interval", s.ID)
+	}
+	if t.byID[s.ID] != nil {
+		return nil, fmt.Errorf("core: duplicate id %d", s.ID)
+	}
+	if len(s.Thresholds) > t.k-1 {
+		return nil, fmt.Errorf("core: node %d has %d routing elements, max is %d", s.ID, len(s.Thresholds), t.k-1)
+	}
+	children := s.Children
+	if children == nil {
+		children = make([]*Spec, len(s.Thresholds)+1)
+	}
+	if len(children) != len(s.Thresholds)+1 {
+		return nil, fmt.Errorf("core: node %d has %d thresholds but %d child slots", s.ID, len(s.Thresholds), len(children))
+	}
+
+	// Scale the spec thresholds and validate monotonicity within (lo, hi].
+	ths := make([]int, len(s.Thresholds))
+	prev := lo
+	for i, th := range s.Thresholds {
+		v := th * t.scale
+		if v <= prev {
+			return nil, fmt.Errorf("core: node %d thresholds not strictly increasing within its interval", s.ID)
+		}
+		if v > hi {
+			return nil, fmt.Errorf("core: node %d threshold %d exceeds its interval", s.ID, th)
+		}
+		ths[i] = v
+		prev = v
+	}
+
+	// Pad the routing array to exactly k−1 cuts using the empty sliver just
+	// below the node's own id value: cuts iv−p .. iv−1 contain no id points
+	// (ids are t.scale apart), so they only carve empty slots.
+	pad := t.k - 1 - len(ths)
+	if pad > 0 {
+		j := 0
+		for j < len(ths) && ths[j] < iv {
+			j++
+		}
+		// The slot j currently covers (ths[j-1], ths[j]] and contains iv.
+		// Decide on which side of the pads its child belongs.
+		var side int // -1: ids below the node id; +1: above; 0: empty slot
+		if ch := children[j]; ch != nil {
+			clo, chi := specIDRange(ch)
+			switch {
+			case chi < s.ID:
+				side = -1
+			case clo > s.ID:
+				side = +1
+			default:
+				return nil, fmt.Errorf("core: node %d cannot pad its routing array: child slot %d spans ids %d..%d across the node id", s.ID, j, clo, chi)
+			}
+		}
+		newThs := make([]int, 0, t.k-1)
+		newChs := make([]*Spec, 0, t.k)
+		newThs = append(newThs, ths[:j]...)
+		newChs = append(newChs, children[:j]...)
+		if side <= 0 {
+			newChs = append(newChs, children[j]) // original child left of pads
+		} else {
+			newChs = append(newChs, nil)
+		}
+		for p := pad; p >= 1; p-- {
+			newThs = append(newThs, iv-p)
+			if p > 1 {
+				newChs = append(newChs, nil)
+			}
+		}
+		if side > 0 {
+			newChs = append(newChs, children[j]) // original child right of pads
+		} else {
+			newChs = append(newChs, nil)
+		}
+		newThs = append(newThs, ths[j:]...)
+		newChs = append(newChs, children[j+1:]...)
+		ths, children = newThs, newChs
+	}
+
+	nd := &Node{
+		id:         s.ID,
+		parent:     parent,
+		thresholds: ths,
+		children:   make([]*Node, len(children)),
+	}
+	t.byID[s.ID] = nd
+	slotLo := lo
+	for i, chSpec := range children {
+		slotHi := hi
+		if i < len(ths) {
+			slotHi = ths[i]
+		}
+		if chSpec != nil {
+			if slotLo >= slotHi {
+				return nil, fmt.Errorf("core: node %d has a child in an empty slot", s.ID)
+			}
+			ch, err := t.buildSpec(chSpec, nd, slotLo, slotHi)
+			if err != nil {
+				return nil, err
+			}
+			nd.children[i] = ch
+		}
+		slotLo = slotHi
+	}
+	return nd, nil
+}

@@ -1,0 +1,46 @@
+package core
+
+import "fmt"
+
+// SplayUntilParent rotates x upward with k-splay (double) and k-semi-splay
+// (single) steps until x's parent is stop. With stop == nil, x becomes the
+// tree root. stop must be a proper ancestor of x (or x's current parent);
+// the method panics otherwise, as that is a programming error in a caller.
+//
+// This is the movement primitive of the online networks: k-ary SplayNet
+// splays a request's source to the lowest common ancestor's position and
+// the destination to a child of the source; the centroid (k+1)-SplayNet
+// splays endpoints to their subtree roots.
+func (t *Tree) SplayUntilParent(x *Node, stop *Node) {
+	for x.parent != stop {
+		p := x.parent
+		if p == nil {
+			panic(fmt.Sprintf("core: splay target (parent %v) is not an ancestor of node %d", stopID(stop), x.id))
+		}
+		if p.parent == stop {
+			t.rebuild([]*Node{p, x})
+		} else {
+			t.rebuild([]*Node{p.parent, p, x})
+		}
+	}
+}
+
+// SemiSplayUntilParent is SplayUntilParent restricted to single
+// (k-semi-splay) steps; it exists for the rotation-repertoire ablation,
+// which measures the value of the double k-splay step.
+func (t *Tree) SemiSplayUntilParent(x *Node, stop *Node) {
+	for x.parent != stop {
+		p := x.parent
+		if p == nil {
+			panic(fmt.Sprintf("core: splay target (parent %v) is not an ancestor of node %d", stopID(stop), x.id))
+		}
+		t.rebuild([]*Node{p, x})
+	}
+}
+
+func stopID(stop *Node) interface{} {
+	if stop == nil {
+		return "<root>"
+	}
+	return stop.id
+}

@@ -1,0 +1,195 @@
+package core
+
+import "fmt"
+
+// Tree is a k-ary search tree network on nodes with identifiers 1..n.
+//
+// The zero value is not usable; construct trees with NewBalanced, NewPath,
+// NewRandom or Build (from a Spec).
+type Tree struct {
+	k     int
+	n     int
+	scale int // cut-space scale: id i sits at value i·scale
+	root  *Node
+	byID  []*Node // byID[id] for id in 1..n; byID[0] unused
+
+	rotations   int64
+	edgeChanges int64
+	trackEdges  bool
+	blockPolicy BlockPolicy
+}
+
+// K returns the arity bound: every node has at most k children and at most
+// k−1 routing elements.
+func (t *Tree) K() int { return t.k }
+
+// N returns the number of network nodes.
+func (t *Tree) N() int { return t.n }
+
+// Root returns the current tree root.
+func (t *Tree) Root() *Node { return t.root }
+
+// NodeByID returns the node with the given identifier. It panics if id is
+// outside 1..n, mirroring slice indexing semantics.
+func (t *Tree) NodeByID(id int) *Node { return t.byID[id] }
+
+// idValue maps an identifier into the scaled cut space in which routing
+// elements live: id i sits at value i·k, leaving k−1 usable cut positions
+// strictly between consecutive ids.
+func (t *Tree) idValue(id int) int { return id * t.scale }
+
+// Scale returns the cut-space scale factor (the arity k); exported for
+// tooling that needs to interpret RoutingArray values in id space.
+func (t *Tree) Scale() int { return t.scale }
+
+// Rotations returns the number of rotation operations (k-semi-splay or
+// k-splay steps) performed since construction or the last ResetCounters.
+// Each step costs one unit in the paper's experimental cost model.
+func (t *Tree) Rotations() int64 { return t.rotations }
+
+// EdgeChanges returns the cumulative number of physical links added or
+// removed by rotations. It is only maintained when edge tracking is enabled
+// with SetTrackEdges (the raw adjustment cost of the paper's model, used by
+// the cost-accounting ablation).
+func (t *Tree) EdgeChanges() int64 { return t.edgeChanges }
+
+// SetTrackEdges enables or disables per-rotation edge-churn accounting.
+// Tracking is off by default because it allocates on every rotation.
+func (t *Tree) SetTrackEdges(on bool) { t.trackEdges = on }
+
+// ResetCounters zeroes the rotation and edge-change counters.
+func (t *Tree) ResetCounters() {
+	t.rotations = 0
+	t.edgeChanges = 0
+}
+
+// Depth returns the number of edges between nd and the root.
+func (t *Tree) Depth(nd *Node) int {
+	d := 0
+	for nd.parent != nil {
+		nd = nd.parent
+		d++
+	}
+	return d
+}
+
+// LCA returns the lowest common ancestor of a and b.
+func (t *Tree) LCA(a, b *Node) *Node {
+	da, db := t.Depth(a), t.Depth(b)
+	for da > db {
+		a = a.parent
+		da--
+	}
+	for db > da {
+		b = b.parent
+		db--
+	}
+	for a != b {
+		a = a.parent
+		b = b.parent
+	}
+	return a
+}
+
+// Distance returns the length (in edges) of the unique routing path between
+// a and b: up from the source to their lowest common ancestor and down to
+// the destination.
+func (t *Tree) Distance(a, b *Node) int {
+	if a == b {
+		return 0
+	}
+	da, db := t.Depth(a), t.Depth(b)
+	dist := 0
+	for da > db {
+		a = a.parent
+		da--
+		dist++
+	}
+	for db > da {
+		b = b.parent
+		db--
+		dist++
+	}
+	for a != b {
+		a = a.parent
+		b = b.parent
+		dist += 2
+	}
+	return dist
+}
+
+// DistanceID is Distance on node identifiers.
+func (t *Tree) DistanceID(u, v int) int {
+	return t.Distance(t.byID[u], t.byID[v])
+}
+
+// Height returns the maximum node depth in the tree.
+func (t *Tree) Height() int {
+	h := 0
+	var walk func(nd *Node, d int)
+	walk = func(nd *Node, d int) {
+		if d > h {
+			h = d
+		}
+		for _, ch := range nd.children {
+			if ch != nil {
+				walk(ch, d+1)
+			}
+		}
+	}
+	walk(t.root, 0)
+	return h
+}
+
+// TotalPairDistanceUniform returns the sum of d(u,v) over all unordered node
+// pairs, computed in O(n) via edge potentials: an edge splitting the tree
+// into parts of size s and n−s is crossed by s·(n−s) pairs. This is the
+// paper's TotalDistance for the (finite) uniform workload.
+func (t *Tree) TotalPairDistanceUniform() int64 {
+	var total int64
+	n := int64(t.n)
+	var size func(nd *Node) int64
+	size = func(nd *Node) int64 {
+		s := int64(1)
+		for _, ch := range nd.children {
+			if ch != nil {
+				s += size(ch)
+			}
+		}
+		if nd.parent != nil {
+			total += s * (n - s)
+		}
+		return s
+	}
+	size(t.root)
+	return total
+}
+
+// AverageDepth returns the mean node depth (useful for shape diagnostics).
+func (t *Tree) AverageDepth() float64 {
+	var sum, cnt int64
+	var walk func(nd *Node, d int)
+	walk = func(nd *Node, d int) {
+		sum += int64(d)
+		cnt++
+		for _, ch := range nd.children {
+			if ch != nil {
+				walk(ch, d+1)
+			}
+		}
+	}
+	walk(t.root, 0)
+	return float64(sum) / float64(cnt)
+}
+
+// checkIDRange verifies the basic construction parameters shared by all
+// tree constructors.
+func checkIDRange(n, k int) error {
+	if n < 1 {
+		return fmt.Errorf("core: need at least one node, got n=%d", n)
+	}
+	if k < 2 {
+		return fmt.Errorf("core: arity must be at least 2, got k=%d", k)
+	}
+	return nil
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestNewBalancedValid(t *testing.T) {
+	for _, k := range []int{2, 3, 4, 5, 7, 10} {
+		for _, n := range []int{1, 2, 3, 4, 5, 7, 10, 31, 64, 100, 255, 1000} {
+			tr, err := NewBalanced(n, k)
+			if err != nil {
+				t.Fatalf("NewBalanced(%d,%d): %v", n, k, err)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("NewBalanced(%d,%d) invalid: %v", n, k, err)
+			}
+		}
+	}
+}
+
+func TestNewBalancedHeight(t *testing.T) {
+	// A weakly-complete k-ary tree of n nodes has height ⌈log_k(...)⌉; check
+	// the exact full-tree cases.
+	cases := []struct{ n, k, h int }{
+		{1, 2, 0}, {3, 2, 1}, {7, 2, 2}, {15, 2, 3}, {31, 2, 4},
+		{1, 3, 0}, {4, 3, 1}, {13, 3, 2}, {40, 3, 3},
+		{1, 4, 0}, {5, 4, 1}, {21, 4, 2},
+	}
+	for _, c := range cases {
+		tr := MustNewBalanced(c.n, c.k)
+		if got := tr.Height(); got != c.h {
+			t.Errorf("height of full %d-ary tree on %d nodes = %d, want %d", c.k, c.n, got, c.h)
+		}
+	}
+}
+
+func TestNewBalancedWeaklyComplete(t *testing.T) {
+	// All levels above the last must be completely filled.
+	for _, k := range []int{2, 3, 5} {
+		for _, n := range []int{6, 17, 50, 123} {
+			tr := MustNewBalanced(n, k)
+			h := tr.Height()
+			perLevel := make([]int, h+1)
+			var walk func(nd *Node, d int)
+			walk = func(nd *Node, d int) {
+				perLevel[d]++
+				for i := 0; i < nd.NumSlots(); i++ {
+					if ch := nd.Child(i); ch != nil {
+						walk(ch, d+1)
+					}
+				}
+			}
+			walk(tr.Root(), 0)
+			want := 1
+			for d := 0; d < h; d++ {
+				if perLevel[d] != want {
+					t.Fatalf("n=%d k=%d: level %d has %d nodes, want %d", n, k, d, perLevel[d], want)
+				}
+				want *= k
+			}
+		}
+	}
+}
+
+func TestNewPath(t *testing.T) {
+	for _, k := range []int{2, 4} {
+		tr, err := NewPath(10, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if got := tr.DistanceID(1, 10); got != 9 {
+			t.Errorf("path distance 1..10 = %d, want 9", got)
+		}
+		if got := tr.Height(); got != 9 {
+			t.Errorf("path height = %d, want 9", got)
+		}
+	}
+}
+
+func TestNewRandomValid(t *testing.T) {
+	for _, k := range []int{2, 3, 6} {
+		for seed := int64(0); seed < 20; seed++ {
+			tr, err := NewRandom(40, k, seed)
+			if err != nil {
+				t.Fatalf("NewRandom(40,%d,%d): %v", k, seed, err)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("NewRandom(40,%d,%d) invalid: %v", k, seed, err)
+			}
+		}
+	}
+}
+
+func TestDistanceSymmetricAndTriangle(t *testing.T) {
+	tr := MustNewBalanced(60, 3)
+	for u := 1; u <= 60; u += 7 {
+		for v := 1; v <= 60; v += 5 {
+			duv, dvu := tr.DistanceID(u, v), tr.DistanceID(v, u)
+			if duv != dvu {
+				t.Fatalf("distance not symmetric: d(%d,%d)=%d d(%d,%d)=%d", u, v, duv, v, u, dvu)
+			}
+			for w := 1; w <= 60; w += 11 {
+				if duv > tr.DistanceID(u, w)+tr.DistanceID(w, v) {
+					t.Fatalf("triangle inequality violated at (%d,%d,%d)", u, v, w)
+				}
+			}
+		}
+	}
+}
+
+func TestDistanceZeroAndAdjacent(t *testing.T) {
+	tr := MustNewBalanced(20, 2)
+	if got := tr.DistanceID(5, 5); got != 0 {
+		t.Errorf("d(5,5)=%d, want 0", got)
+	}
+	root := tr.Root()
+	for i := 0; i < root.NumSlots(); i++ {
+		if ch := root.Child(i); ch != nil {
+			if got := tr.Distance(root, ch); got != 1 {
+				t.Errorf("root-child distance = %d, want 1", got)
+			}
+		}
+	}
+}
+
+func TestLCA(t *testing.T) {
+	tr := MustNewBalanced(31, 2) // full binary tree
+	// In a full BST on 1..31, LCA(1, 31) is the root.
+	if got := tr.LCA(tr.NodeByID(1), tr.NodeByID(31)); got != tr.Root() {
+		t.Errorf("LCA(1,31) = %d, want root %d", got.ID(), tr.Root().ID())
+	}
+	// LCA of a node with itself is itself.
+	nd := tr.NodeByID(7)
+	if got := tr.LCA(nd, nd); got != nd {
+		t.Errorf("LCA(x,x) != x")
+	}
+	// LCA of an ancestor-descendant pair is the ancestor.
+	anc := tr.Root()
+	ch := anc.Child(0)
+	for ch != nil && !ch.IsLeaf() {
+		if got := tr.LCA(anc, ch); got != anc {
+			t.Fatalf("LCA(ancestor,descendant) wrong")
+		}
+		next := ch.Child(0)
+		if next == nil {
+			break
+		}
+		ch = next
+	}
+}
+
+func TestRoutePathMatchesDistance(t *testing.T) {
+	tr := MustNewBalanced(64, 4)
+	for u := 1; u <= 64; u += 3 {
+		for v := 1; v <= 64; v += 7 {
+			p := tr.RoutePath(u, v)
+			if len(p)-1 != tr.DistanceID(u, v) {
+				t.Fatalf("route path length %d != distance %d for (%d,%d)", len(p)-1, tr.DistanceID(u, v), u, v)
+			}
+			if p[0] != u || p[len(p)-1] != v {
+				t.Fatalf("route path endpoints wrong: %v for (%d,%d)", p, u, v)
+			}
+		}
+	}
+}
+
+func TestNextHopFollowsRoutePath(t *testing.T) {
+	tr := MustNewBalanced(50, 3)
+	for u := 1; u <= 50; u += 4 {
+		for v := 1; v <= 50; v += 6 {
+			if u == v {
+				continue
+			}
+			at := tr.NodeByID(u)
+			hops := 0
+			for at.ID() != v {
+				next, err := tr.NextHop(at, v)
+				if err != nil {
+					t.Fatalf("NextHop(%d→%d): %v", at.ID(), v, err)
+				}
+				at = next
+				hops++
+				if hops > tr.N() {
+					t.Fatalf("NextHop loops routing %d→%d", u, v)
+				}
+			}
+			if hops != tr.DistanceID(u, v) {
+				t.Fatalf("NextHop took %d hops for (%d,%d), distance is %d", hops, u, v, tr.DistanceID(u, v))
+			}
+		}
+	}
+}
+
+func TestTotalPairDistanceUniformMatchesBruteForce(t *testing.T) {
+	for _, k := range []int{2, 3, 4} {
+		for _, n := range []int{1, 2, 8, 25} {
+			tr := MustNewBalanced(n, k)
+			var brute int64
+			for u := 1; u <= n; u++ {
+				for v := u + 1; v <= n; v++ {
+					brute += int64(tr.DistanceID(u, v))
+				}
+			}
+			if got := tr.TotalPairDistanceUniform(); got != brute {
+				t.Errorf("n=%d k=%d: TotalPairDistanceUniform=%d brute=%d", n, k, got, brute)
+			}
+		}
+	}
+}
+
+func TestWeaklyCompleteSizes(t *testing.T) {
+	cases := []struct {
+		c, k int
+		want []int
+	}{
+		{0, 3, []int{0, 0, 0}},
+		{3, 3, []int{1, 1, 1}},
+		{4, 3, []int{2, 1, 1}},
+		{6, 3, []int{4, 1, 1}},
+		{12, 3, []int{4, 4, 4}},
+		{13, 3, []int{5, 4, 4}},
+		{2, 2, []int{1, 1}},
+		{5, 2, []int{3, 2}},
+		{6, 2, []int{3, 3}},
+	}
+	for _, c := range cases {
+		got := WeaklyCompleteSizes(c.c, c.k)
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("WeaklyCompleteSizes(%d,%d)=%v want %v", c.c, c.k, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestBuildRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		name string
+		k    int
+		spec *Spec
+	}{
+		{"nil spec", 2, nil},
+		{"dup id", 2, &Spec{ID: 1, Thresholds: []int{1}, Children: []*Spec{nil, {ID: 1}}}},
+		{"id out of slot", 2, &Spec{ID: 2, Thresholds: []int{1}, Children: []*Spec{{ID: 3}, nil}}},
+		{"too many thresholds", 2, &Spec{ID: 2, Thresholds: []int{1, 2}, Children: []*Spec{{ID: 1}, nil, {ID: 3}}}},
+		{"slot count mismatch", 3, &Spec{ID: 1, Thresholds: []int{1}, Children: []*Spec{nil}}},
+		{"non-increasing thresholds", 3, &Spec{ID: 2, Thresholds: []int{2, 2}, Children: []*Spec{{ID: 1}, nil, {ID: 3}}}},
+	}
+	for _, c := range cases {
+		if _, err := Build(c.k, c.spec); err == nil {
+			t.Errorf("%s: Build accepted an invalid spec", c.name)
+		}
+	}
+}
+
+func TestBuildAcceptsLeafWithNilChildren(t *testing.T) {
+	tr, err := Build(3, &Spec{ID: 2, Thresholds: []int{2}, Children: []*Spec{{ID: 1}, {ID: 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParents(t *testing.T) {
+	tr := MustNewBalanced(7, 2)
+	par := tr.Parents()
+	if par[tr.Root().ID()] != 0 {
+		t.Errorf("root parent = %d, want 0", par[tr.Root().ID()])
+	}
+	roots := 0
+	for id := 1; id <= 7; id++ {
+		if par[id] == 0 {
+			roots++
+		} else if tr.NodeByID(id).Parent().ID() != par[id] {
+			t.Errorf("Parents()[%d] inconsistent", id)
+		}
+	}
+	if roots != 1 {
+		t.Errorf("found %d roots, want 1", roots)
+	}
+}
+
+func TestAverageDepthBalancedVsPath(t *testing.T) {
+	bal := MustNewBalanced(63, 2)
+	path, _ := NewPath(63, 2)
+	if bal.AverageDepth() >= path.AverageDepth() {
+		t.Errorf("balanced tree average depth %.2f should beat path %.2f",
+			bal.AverageDepth(), path.AverageDepth())
+	}
+}
+
+func TestHigherArityShortensTree(t *testing.T) {
+	// The motivation of the paper: with increasing k, route lengths drop.
+	n := 500
+	prev := MustNewBalanced(n, 2).TotalPairDistanceUniform()
+	for k := 3; k <= 10; k++ {
+		cur := MustNewBalanced(n, k).TotalPairDistanceUniform()
+		if cur >= prev {
+			t.Errorf("k=%d full tree total distance %d not below k=%d's %d", k, cur, k-1, prev)
+		}
+		prev = cur
+	}
+}

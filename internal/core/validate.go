@@ -1,0 +1,103 @@
+package core
+
+import "fmt"
+
+// Validate checks every structural invariant of the k-ary search tree
+// network and returns the first violation found:
+//
+//   - the id↔node map covers exactly 1..n and parent/child links agree,
+//   - every node carries exactly k−1 routing elements (the paper's node
+//     model, Fig. 1; Build pads arrays and rotations preserve fullness)
+//     and exactly one more child slot than routing elements,
+//   - routing elements are strictly increasing and lie inside the node's
+//     slot interval in cut space, and the node's own id value does too,
+//   - non-nil children occupy non-empty intervals,
+//   - greedy search from the root reaches every id along its tree path
+//     (local greedy routing works).
+//
+// Validate is O(n·depth); it is used pervasively by tests and is cheap
+// enough to call after every operation on small trees.
+func (t *Tree) Validate() error {
+	if t.root == nil {
+		return fmt.Errorf("core: nil root")
+	}
+	if t.root.parent != nil {
+		return fmt.Errorf("core: root %d has a parent", t.root.id)
+	}
+	if len(t.byID) != t.n+1 {
+		return fmt.Errorf("core: byID has %d entries, want %d", len(t.byID), t.n+1)
+	}
+	seen := make([]bool, t.n+1)
+	count := 0
+	var walk func(nd *Node, lo, hi int) error
+	walk = func(nd *Node, lo, hi int) error {
+		if nd.id < 1 || nd.id > t.n {
+			return fmt.Errorf("core: node id %d out of range 1..%d", nd.id, t.n)
+		}
+		if seen[nd.id] {
+			return fmt.Errorf("core: id %d appears twice", nd.id)
+		}
+		seen[nd.id] = true
+		count++
+		if t.byID[nd.id] != nd {
+			return fmt.Errorf("core: byID[%d] does not point at the node in the tree", nd.id)
+		}
+		iv := t.idValue(nd.id)
+		if iv <= lo || iv > hi {
+			return fmt.Errorf("core: node %d outside its slot interval", nd.id)
+		}
+		if len(nd.thresholds) != t.k-1 {
+			return fmt.Errorf("core: node %d has %d routing elements, want exactly %d", nd.id, len(nd.thresholds), t.k-1)
+		}
+		if len(nd.children) != len(nd.thresholds)+1 {
+			return fmt.Errorf("core: node %d has %d thresholds but %d child slots", nd.id, len(nd.thresholds), len(nd.children))
+		}
+		prev := lo
+		for _, th := range nd.thresholds {
+			if th <= prev {
+				return fmt.Errorf("core: node %d routing elements not strictly increasing inside its interval", nd.id)
+			}
+			if th > hi {
+				return fmt.Errorf("core: node %d routing element exceeds its interval", nd.id)
+			}
+			prev = th
+		}
+		slotLo := lo
+		for i, ch := range nd.children {
+			slotHi := hi
+			if i < len(nd.thresholds) {
+				slotHi = nd.thresholds[i]
+			}
+			if ch != nil {
+				if ch.parent != nd {
+					return fmt.Errorf("core: node %d is child of %d but points at a different parent", ch.id, nd.id)
+				}
+				if slotLo >= slotHi {
+					return fmt.Errorf("core: node %d has child %d in an empty slot", nd.id, ch.id)
+				}
+				if err := walk(ch, slotLo, slotHi); err != nil {
+					return err
+				}
+			}
+			slotLo = slotHi
+		}
+		return nil
+	}
+	if err := walk(t.root, 0, t.n*t.scale); err != nil {
+		return err
+	}
+	if count != t.n {
+		return fmt.Errorf("core: tree holds %d nodes, want %d", count, t.n)
+	}
+	// Greedy search must find every id along its tree path.
+	for id := 1; id <= t.n; id++ {
+		path, err := t.SearchFromRoot(id)
+		if err != nil {
+			return err
+		}
+		if got, want := len(path)-1, t.Depth(t.byID[id]); got != want {
+			return fmt.Errorf("core: search for %d took %d hops, node depth is %d", id, got, want)
+		}
+	}
+	return nil
+}

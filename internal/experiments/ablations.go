@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/ksan-net/ksan/internal/core"
+	"github.com/ksan-net/ksan/internal/karynet"
+	"github.com/ksan-net/ksan/internal/report"
+	"github.com/ksan-net/ksan/internal/sim"
+	"github.com/ksan-net/ksan/internal/workload"
+)
+
+// AblationCostAccounting (A1 in DESIGN.md) quantifies the gap between the
+// paper's "one unit per rotation" adjustment accounting and the model's raw
+// definition (links added/removed): for each k it reports routing cost,
+// rotation count and actual edge churn of k-ary SplayNet on a trace.
+func AblationCostAccounting(tr workload.Trace, ks []int) report.Table {
+	t := report.Table{
+		Title:  fmt.Sprintf("Ablation A1: rotation count vs link churn (%s, n=%d, m=%d)", tr.Name, tr.N, tr.Len()),
+		Header: []string{"k", "routing", "rotations", "links changed", "links/rotation"},
+	}
+	for _, k := range ks {
+		net := karynet.MustNew(tr.N, k)
+		net.Tree().SetTrackEdges(true)
+		res := sim.Run(net, tr.Reqs)
+		churn := net.Tree().EdgeChanges()
+		perRot := "-"
+		if res.Adjust > 0 {
+			perRot = fmt.Sprintf("%.2f", float64(churn)/float64(res.Adjust))
+		}
+		t.AddRow(fmt.Sprintf("%d", k), report.Count(res.Routing), report.Count(res.Adjust),
+			report.Count(churn), perRot)
+	}
+	return t
+}
+
+// AblationSemiSplayOnly (A2) measures the value of the double k-splay step:
+// it compares the full rotation repertoire against k-semi-splay-only
+// self-adjustment.
+func AblationSemiSplayOnly(tr workload.Trace, ks []int) report.Table {
+	t := report.Table{
+		Title:  fmt.Sprintf("Ablation A2: full k-splay vs k-semi-splay only (%s, total cost)", tr.Name),
+		Header: []string{"k", "k-splay total", "semi-only total", "semi/full"},
+	}
+	for _, k := range ks {
+		full := sim.Run(karynet.MustNew(tr.N, k), tr.Reqs)
+		semi := karynet.MustNew(tr.N, k)
+		semi.SetSemiSplayOnly(true)
+		s := sim.Run(semi, tr.Reqs)
+		t.AddRow(fmt.Sprintf("%d", k), report.Count(full.Total()), report.Count(s.Total()),
+			report.Ratio(s.Total(), full.Total()))
+	}
+	return t
+}
+
+// AblationBlockPolicy (A3) compares the id-centered block placement of the
+// rebuild against the leftmost feasible placement.
+func AblationBlockPolicy(tr workload.Trace, ks []int) report.Table {
+	t := report.Table{
+		Title:  fmt.Sprintf("Ablation A3: centered vs leftmost routing-element blocks (%s, total cost)", tr.Name),
+		Header: []string{"k", "centered", "leftmost", "leftmost/centered"},
+	}
+	for _, k := range ks {
+		centered := sim.Run(karynet.MustNew(tr.N, k), tr.Reqs)
+		left := karynet.MustNew(tr.N, k)
+		left.Tree().SetBlockPolicy(core.BlockLeftmost)
+		l := sim.Run(left, tr.Reqs)
+		t.AddRow(fmt.Sprintf("%d", k), report.Count(centered.Total()), report.Count(l.Total()),
+			report.Ratio(l.Total(), centered.Total()))
+	}
+	return t
+}
+
+// AblationInitialTopology (A4) measures how much the initial network
+// matters to k-ary SplayNet: balanced vs path vs random starts (the model
+// allows an arbitrary G0; self-adjustment should largely erase it).
+func AblationInitialTopology(tr workload.Trace, k int) report.Table {
+	t := report.Table{
+		Title:  fmt.Sprintf("Ablation A4: initial topology sensitivity (%s, k=%d, total cost)", tr.Name, k),
+		Header: []string{"initial", "total cost", "vs balanced"},
+	}
+	balanced := sim.Run(karynet.MustNew(tr.N, k), tr.Reqs)
+	t.AddRow("balanced", report.Count(balanced.Total()), "1.00x")
+	path, err := core.NewPath(tr.N, k)
+	if err != nil {
+		panic(err)
+	}
+	p := sim.Run(karynet.NewFromTree(path), tr.Reqs)
+	t.AddRow("path", report.Count(p.Total()), report.Ratio(p.Total(), balanced.Total()))
+	rnd, err := core.NewRandom(tr.N, k, 99)
+	if err != nil {
+		panic(err)
+	}
+	r := sim.Run(karynet.NewFromTree(rnd), tr.Reqs)
+	t.AddRow("random", report.Count(r.Total()), report.Ratio(r.Total(), balanced.Total()))
+	return t
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ksan-net/ksan/internal/karynet"
+	"github.com/ksan-net/ksan/internal/report"
+	"github.com/ksan-net/ksan/internal/sim"
+	"github.com/ksan-net/ksan/internal/statictree"
+	"github.com/ksan-net/ksan/internal/workload"
+)
+
+// CentroidOptimality reproduces the observation of Remark 10/37: on the
+// uniform workload the centroid k-ary search tree matches the DP-optimal
+// tree exactly for all tested n < 10³ and k ≤ 10. For each (n,k) the table
+// reports centroid/optimal total-distance ratios (1.00x = optimal) and the
+// full tree's ratio for contrast.
+func CentroidOptimality(ns []int, ks []int) (report.Table, bool) {
+	t := report.Table{
+		Title:  "Remark 10: centroid tree vs uniform-workload optimum (total distance ratios)",
+		Header: []string{"n"},
+	}
+	for _, k := range ks {
+		t.Header = append(t.Header, fmt.Sprintf("centroid k=%d", k), fmt.Sprintf("full k=%d", k))
+	}
+	allOptimal := true
+	for _, n := range ns {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, k := range ks {
+			_, opt, err := statictree.OptimalUniform(n, k)
+			if err != nil {
+				panic(err)
+			}
+			cen, err := statictree.Centroid(n, k)
+			if err != nil {
+				panic(err)
+			}
+			full, err := statictree.Full(n, k)
+			if err != nil {
+				panic(err)
+			}
+			cd := statictree.TotalDistanceUniform(cen)
+			fd := statictree.TotalDistanceUniform(full)
+			if cd != opt {
+				allOptimal = false
+			}
+			row = append(row, report.Ratio(cd, opt), report.Ratio(fd, opt))
+		}
+		t.AddRow(row...)
+	}
+	return t, allOptimal
+}
+
+// Lemma9Scaling reproduces the asymptotic claim of Lemma 9/36: the total
+// uniform distance of both the full k-ary tree and the centroid tree is
+// n²·log_k n + O(n²). The table reports total distance divided by
+// n²·log_k n, which must approach 1 from either side as n grows.
+func Lemma9Scaling(ns []int, ks []int) report.Table {
+	t := report.Table{
+		Title:  "Lemma 9: total distance / (n² log_k n) for full and centroid trees",
+		Header: []string{"n"},
+	}
+	for _, k := range ks {
+		t.Header = append(t.Header, fmt.Sprintf("full k=%d", k), fmt.Sprintf("centroid k=%d", k))
+	}
+	for _, n := range ns {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, k := range ks {
+			norm := float64(n) * float64(n) * math.Log(float64(n)) / math.Log(float64(k))
+			full, err := statictree.Full(n, k)
+			if err != nil {
+				panic(err)
+			}
+			cen, err := statictree.Centroid(n, k)
+			if err != nil {
+				panic(err)
+			}
+			row = append(row,
+				fmt.Sprintf("%.3f", float64(statictree.TotalDistanceUniform(full))/norm),
+				fmt.Sprintf("%.3f", float64(statictree.TotalDistanceUniform(cen))/norm))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// EntropyBoundCheck relates measured k-ary SplayNet cost to the Theorem 13
+// entropy bound on each workload: the measured/bound ratio must stay below
+// a modest constant across workloads if the implementation matches the
+// analysis (the bound is asymptotic, so the constant is not 1).
+func EntropyBoundCheck(w Workloads, k int) report.Table {
+	t := report.Table{
+		Title:  fmt.Sprintf("Theorem 13 sanity: %d-ary SplayNet total cost vs entropy bound", k),
+		Header: []string{"workload", "measured total", "entropy bound", "ratio"},
+	}
+	add := func(name string, tr workload.Trace) {
+		r := sim.Run(karynet.MustNew(tr.N, k), tr.Reqs)
+		bound := workload.EntropyBound(tr)
+		t.AddRow(name, report.Count(r.Total()), fmt.Sprintf("%.0f", bound),
+			fmt.Sprintf("%.2f", float64(r.Total())/bound))
+	}
+	add("uniform", w.Uniform)
+	add("hpc", w.HPC)
+	add("projector", w.Proj)
+	for _, p := range TemporalPs {
+		add(fmt.Sprintf("temporal-%.2f", p), w.Temporals[p])
+	}
+	return t
+}

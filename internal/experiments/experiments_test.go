@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/ksan-net/ksan/internal/workload"
+)
+
+// The tests in this file assert the qualitative shapes the paper reports —
+// who wins, in which locality regime, and how trends move with k — at the
+// quick scale, so the full suite stays honest under refactoring.
+
+func TestKAryTableShapes(t *testing.T) {
+	sc := Quick
+	tr := workload.Temporal(sc.TemporalNodes, sc.Requests, 0.5, 3)
+	res := KAryTable("shape", tr, sc)
+
+	// Row 1 trend: routing cost decreases as k grows (Tables 1-7).
+	if !(res.Routing[10] < res.Routing[3] && res.Routing[3] < res.Routing[2]) {
+		t.Errorf("routing not decreasing in k: %v", res.Routing)
+	}
+	// The static full tree's distance also decreases with k.
+	if !(res.FullDist[10] < res.FullDist[2]) {
+		t.Errorf("full tree distance not decreasing in k: %v", res.FullDist)
+	}
+	// The optimal tree is never worse than the full tree on the same trace.
+	for _, k := range sc.Ks {
+		if res.OptDist[k] > 0 && res.OptDist[k] > res.FullDist[k] {
+			t.Errorf("k=%d: optimal %d worse than full %d", k, res.OptDist[k], res.FullDist[k])
+		}
+	}
+	// Table formatting: one column per k plus the label column.
+	if got, want := len(res.Table.Header), len(sc.Ks)+1; got != want {
+		t.Errorf("header has %d columns, want %d", got, want)
+	}
+	if len(res.Table.Rows) != 4 {
+		t.Errorf("expected 4 rows, got %d", len(res.Table.Rows))
+	}
+}
+
+func TestKAryTableSkipsOptimalBeyondLimit(t *testing.T) {
+	sc := Quick
+	sc.OptMaxN = 10 // force the skip
+	tr := workload.Uniform(32, 2000, 1)
+	res := KAryTable("skip", tr, sc)
+	for _, k := range sc.Ks {
+		if res.OptDist[k] != 0 {
+			t.Errorf("k=%d: optimal computed despite the limit", k)
+		}
+	}
+	for _, cell := range res.Table.Rows[2][1:] {
+		if cell != "-" {
+			t.Errorf("optimal row cell %q, want '-' (paper's Facebook column)", cell)
+		}
+	}
+}
+
+func TestTable8LocalityTrend(t *testing.T) {
+	sc := Quick
+	w := MakeWorkloads(sc)
+	rows, tbl := Table8(w, sc)
+	if len(rows) != 8 {
+		t.Fatalf("Table 8 must have 8 workloads, got %d", len(rows))
+	}
+	byName := map[string]Table8Row{}
+	for _, r := range rows {
+		byName[r.Workload] = r
+	}
+	// The paper's Section 5.2 observations:
+	// (1) 3-SplayNet degrades against SplayNet as temporal locality rises.
+	r25 := byName["Temporal 0.25"].SplayAvg / byName["Temporal 0.25"].CentroidAvg
+	r90 := byName["Temporal 0.90"].SplayAvg / byName["Temporal 0.90"].CentroidAvg
+	if r25 <= r90 {
+		t.Errorf("SplayNet/3SN ratio must fall with locality: p=0.25 %.3f vs p=0.9 %.3f", r25, r90)
+	}
+	// (2) static trees lose badly at high locality (full binary ratio > 1.5
+	// at p=0.9) and win at low locality (< 1 on uniform).
+	if f := byName["Temporal 0.90"].FullAvg / byName["Temporal 0.90"].CentroidAvg; f < 1.5 {
+		t.Errorf("full tree should lose at p=0.9, ratio %.2f", f)
+	}
+	if f := byName["Uniform"].FullAvg / byName["Uniform"].CentroidAvg; f > 1 {
+		t.Errorf("full tree should win on uniform, ratio %.2f", f)
+	}
+	// (3) the static optimal tree is never worse than the full tree.
+	for name, r := range byName {
+		if r.OptAvg > r.FullAvg*1.0001 {
+			t.Errorf("%s: optimal %.3f worse than full %.3f", name, r.OptAvg, r.FullAvg)
+		}
+	}
+	// The Facebook row must fall back to the approximation at quick scale
+	// when n exceeds the DP limit.
+	if sc.FBNodes > sc.OptMaxN && !byName["Facebook"].OptApproxima {
+		t.Error("Facebook row should be flagged approx")
+	}
+	if !strings.Contains(tbl.Render(), "3-SplayNet") {
+		t.Error("table header missing 3-SplayNet")
+	}
+}
+
+func TestCentroidOptimalityExperiment(t *testing.T) {
+	tbl, all := CentroidOptimality([]int{5, 17, 40, 100}, []int{2, 3, 7})
+	if !all {
+		t.Error("Remark 10 violated: centroid tree not optimal on a tested instance")
+	}
+	if len(tbl.Rows) != 4 {
+		t.Errorf("rows %d", len(tbl.Rows))
+	}
+	// Every centroid cell must be exactly "1.00x".
+	for _, row := range tbl.Rows {
+		for i := 1; i < len(row); i += 2 {
+			if row[i] != "1.00x" {
+				t.Errorf("centroid cell %q, want 1.00x", row[i])
+			}
+		}
+	}
+}
+
+func TestLemma9ScalingExperiment(t *testing.T) {
+	tbl := Lemma9Scaling([]int{128, 512}, []int{2, 4})
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	// All normalized ratios must sit in (0,1.5) (n² log_k n + O(n²)).
+	for _, row := range tbl.Rows {
+		for _, cell := range row[1:] {
+			var v float64
+			if _, err := sscanF(cell, &v); err != nil {
+				t.Fatalf("bad cell %q", cell)
+			}
+			if v <= 0 || v > 1.5 {
+				t.Errorf("normalized total distance %.3f outside (0,1.5]", v)
+			}
+		}
+	}
+}
+
+func TestEntropyBoundCheckExperiment(t *testing.T) {
+	sc := Quick
+	w := MakeWorkloads(sc)
+	tbl := EntropyBoundCheck(w, 3)
+	if len(tbl.Rows) != 3+len(TemporalPs) {
+		t.Errorf("rows %d", len(tbl.Rows))
+	}
+	// Theorem 13 is an upper bound up to constants: measured/bound must
+	// stay under a small constant on every workload.
+	for _, row := range tbl.Rows {
+		var ratio float64
+		if _, err := sscanF(row[3], &ratio); err != nil {
+			t.Fatalf("bad ratio cell %q", row[3])
+		}
+		if ratio > 3 {
+			t.Errorf("%s: measured/bound ratio %.2f implausibly high", row[0], ratio)
+		}
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	tr := workload.Temporal(64, 5000, 0.5, 5)
+	ks := []int{2, 4}
+	for _, tbl := range []struct {
+		name string
+		rows int
+	}{
+		{"cost", len(AblationCostAccounting(tr, ks).Rows)},
+		{"semi", len(AblationSemiSplayOnly(tr, ks).Rows)},
+		{"block", len(AblationBlockPolicy(tr, ks).Rows)},
+		{"initial", len(AblationInitialTopology(tr, 3).Rows)},
+	} {
+		if tbl.rows < 2 {
+			t.Errorf("ablation %s has %d rows", tbl.name, tbl.rows)
+		}
+	}
+}
+
+func TestAblationLinkChurnExceedsRotations(t *testing.T) {
+	// A single rotation rewires several links; the A1 ablation must show
+	// links/rotation strictly above 1 (the paper's unit-cost rotation
+	// assumption understates physical churn).
+	tr := workload.Temporal(64, 5000, 0.5, 6)
+	tbl := AblationCostAccounting(tr, []int{2, 6})
+	for _, row := range tbl.Rows {
+		var perRot float64
+		if _, err := sscanF(row[4], &perRot); err != nil {
+			t.Fatalf("bad cell %q", row[4])
+		}
+		if perRot <= 1 {
+			t.Errorf("k=%s: links per rotation %.2f, expected > 1", row[0], perRot)
+		}
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"quick", "default", "paper", ""} {
+		if _, err := ScaleByName(name); err != nil {
+			t.Errorf("ScaleByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ScaleByName("bogus"); err == nil {
+		t.Error("bogus scale accepted")
+	}
+}
+
+func TestMakeWorkloadsDeterministic(t *testing.T) {
+	a := MakeWorkloads(Quick)
+	b := MakeWorkloads(Quick)
+	if a.HPC.Reqs[42] != b.HPC.Reqs[42] || a.Temporals[0.9].Reqs[7] != b.Temporals[0.9].Reqs[7] {
+		t.Error("workload generation not deterministic")
+	}
+	if a.FB.N != Quick.FBNodes || a.Uniform.Len() != Quick.Requests {
+		t.Error("workload dimensions do not follow the scale")
+	}
+}
+
+func TestRunAllQuickProducesAllSections(t *testing.T) {
+	var buf bytes.Buffer
+	RunAll(&buf, Quick)
+	out := buf.String()
+	for _, want := range []string{
+		"Table 1", "Table 2", "Table 3", "Table 4", "Table 5", "Table 6", "Table 7", "Table 8",
+		"Remark 10", "Lemma 9", "Theorem 13",
+		"Ablation A1", "Ablation A2", "Ablation A3", "Ablation A4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("suite output missing %q", want)
+		}
+	}
+}
+
+// sscanF parses a leading float from a table cell.
+func sscanF(s string, v *float64) (int, error) {
+	return fmt.Sscan(strings.TrimSuffix(s, "x"), v)
+}

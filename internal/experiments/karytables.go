@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/ksan-net/ksan/internal/karynet"
+	"github.com/ksan-net/ksan/internal/report"
+	"github.com/ksan-net/ksan/internal/sim"
+	"github.com/ksan-net/ksan/internal/statictree"
+	"github.com/ksan-net/ksan/internal/workload"
+)
+
+// KAryTableResult carries one of Tables 1–7: the k-ary SplayNet sweep on a
+// single workload against the static full tree and the DP-optimal tree.
+type KAryTableResult struct {
+	Table report.Table
+	// Routing[k] is the total routing cost of k-ary SplayNet on the trace;
+	// Total[k] adds rotations. FullDist/OptDist are the static trees'
+	// total distances under the trace's demand (OptDist[k]==0 ⇒ skipped).
+	Routing  map[int]int64
+	Total    map[int]int64
+	FullDist map[int]int64
+	OptDist  map[int]int64
+}
+
+// KAryTable reproduces the layout of Tables 1–7 on one trace:
+//
+//	row 1 — total routing cost of 2-ary SplayNet (absolute), then the
+//	        relative routing cost of k-ary SplayNet for k=3..10,
+//	row 2 — k-ary SplayNet routing cost relative to the static full
+//	        k-ary tree,
+//	row 3 — the same against the optimal static routing-based k-ary tree
+//	        ("-" where the cubic DP is out of reach, as in the paper's
+//	        Facebook column).
+//
+// A supplementary row reports total (routing+rotation) cost ratios for
+// transparency about adjustment overhead.
+func KAryTable(title string, tr workload.Trace, sc Scale) KAryTableResult {
+	res := KAryTableResult{
+		Routing:  map[int]int64{},
+		Total:    map[int]int64{},
+		FullDist: map[int]int64{},
+		OptDist:  map[int]int64{},
+	}
+	d := workload.DemandFromTrace(tr)
+
+	var mu sync.Mutex
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for _, k := range sc.Ks {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			r := sim.Run(karynet.MustNew(tr.N, k), tr.Reqs)
+			full, err := statictree.Full(tr.N, k)
+			if err != nil {
+				panic(err)
+			}
+			fullDist := statictree.TotalDistance(full, d)
+			var optDist int64
+			if tr.N <= sc.OptMaxN {
+				_, cost, err := statictree.Optimal(d, k)
+				if err != nil {
+					panic(err)
+				}
+				optDist = cost
+			}
+			mu.Lock()
+			res.Routing[k] = r.Routing
+			res.Total[k] = r.Total()
+			res.FullDist[k] = fullDist
+			res.OptDist[k] = optDist
+			mu.Unlock()
+		}(k)
+	}
+	wg.Wait()
+
+	t := report.Table{
+		Title:  title,
+		Header: []string{""},
+	}
+	for _, k := range sc.Ks {
+		t.Header = append(t.Header, fmt.Sprintf("%d", k))
+	}
+	base := res.Routing[2]
+	row1 := []string{"SplayNet"}
+	row2 := []string{"Full Tree"}
+	row3 := []string{"Optimal Tree"}
+	row4 := []string{"Total (incl. adj.)"}
+	for i, k := range sc.Ks {
+		if i == 0 && k == 2 {
+			row1 = append(row1, report.Count(base))
+		} else {
+			row1 = append(row1, report.Ratio(res.Routing[k], base))
+		}
+		row2 = append(row2, report.Ratio(res.Routing[k], res.FullDist[k]))
+		if res.OptDist[k] > 0 {
+			row3 = append(row3, report.Ratio(res.Routing[k], res.OptDist[k]))
+		} else {
+			row3 = append(row3, "-")
+		}
+		row4 = append(row4, report.Ratio(res.Total[k], res.Total[2]))
+	}
+	t.AddRow(row1...)
+	t.AddRow(row2...)
+	t.AddRow(row3...)
+	t.AddRow(row4...)
+	res.Table = t
+	return res
+}
+
+// Tables1Through7 runs the whole k-ary sweep suite: the three trace-like
+// workloads and the four temporal workloads.
+func Tables1Through7(w Workloads, sc Scale) []KAryTableResult {
+	out := []KAryTableResult{
+		KAryTable(fmt.Sprintf("Table 1: k-ary SplayNet on HPC workload (n=%d, m=%d)", w.HPC.N, w.HPC.Len()), w.HPC, sc),
+		KAryTable(fmt.Sprintf("Table 2: k-ary SplayNet on ProjecToR workload (n=%d, m=%d)", w.Proj.N, w.Proj.Len()), w.Proj, sc),
+		KAryTable(fmt.Sprintf("Table 3: k-ary SplayNet on Facebook workload (n=%d, m=%d)", w.FB.N, w.FB.Len()), w.FB, sc),
+	}
+	for i, p := range TemporalPs {
+		tr := w.Temporals[p]
+		out = append(out, KAryTable(
+			fmt.Sprintf("Table %d: k-ary SplayNet on synthetic workload, temporal parameter %.2f (n=%d, m=%d)", 4+i, p, tr.N, tr.Len()),
+			tr, sc))
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/ksan-net/ksan/internal/karynet"
+	"github.com/ksan-net/ksan/internal/lazynet"
+	"github.com/ksan-net/ksan/internal/report"
+	"github.com/ksan-net/ksan/internal/sim"
+	"github.com/ksan-net/ksan/internal/statictree"
+	"github.com/ksan-net/ksan/internal/workload"
+)
+
+// LazyVsReactive compares the fully reactive k-ary SplayNet against the
+// partially reactive meta-algorithm (lazynet) across reconfiguration
+// thresholds α, using the model's raw link-churn cost for the lazy
+// rebuilds. This extends the paper's introduction discussion of lazy SANs
+// ([13]) to the k-ary setting.
+func LazyVsReactive(tr workload.Trace, k int, alphas []int64) report.Table {
+	t := report.Table{
+		Title:  fmt.Sprintf("Extension: fully reactive vs partially reactive (lazy) networks (%s, k=%d)", tr.Name, k),
+		Header: []string{"network", "routing", "adjustment", "total", "rebuilds"},
+	}
+	reactive := sim.Run(karynet.MustNew(tr.N, k), tr.Reqs)
+	t.AddRow(fmt.Sprintf("%d-ary SplayNet (reactive)", k),
+		report.Count(reactive.Routing), report.Count(reactive.Adjust),
+		report.Count(reactive.Total()), "-")
+	full, err := statictree.Full(tr.N, k)
+	if err != nil {
+		panic(err)
+	}
+	static := sim.Run(statictree.NewNet("full", full), tr.Reqs)
+	t.AddRow("full tree (never adjusts)",
+		report.Count(static.Routing), "0", report.Count(static.Total()), "0")
+	for _, a := range alphas {
+		lazy := lazynet.MustNew(tr.N, k, a)
+		res := sim.Run(lazy, tr.Reqs)
+		t.AddRow(fmt.Sprintf("lazy α=%d", a),
+			report.Count(res.Routing), report.Count(res.Adjust),
+			report.Count(res.Total()), fmt.Sprintf("%d", lazy.Rebuilds()))
+	}
+	return t
+}

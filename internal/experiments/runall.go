@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// RunAll regenerates every experiment at the given scale and streams the
+// tables to w in paper order. It is the engine behind cmd/ksanbench.
+func RunAll(w io.Writer, sc Scale) {
+	fmt.Fprintf(w, "== ksan experiment suite, scale %q (m=%d requests per trace) ==\n\n", sc.Name, sc.Requests)
+	loads := MakeWorkloads(sc)
+
+	for _, res := range Tables1Through7(loads, sc) {
+		fmt.Fprintln(w, res.Table.Render())
+	}
+	_, t8 := Table8(loads, sc)
+	fmt.Fprintln(w, t8.Render())
+
+	ns := []int{10, 30, 60, 100, 250, 500, 999}
+	ks := []int{2, 3, 5, 10}
+	remark, all := CentroidOptimality(ns, ks)
+	fmt.Fprintln(w, remark.Render())
+	fmt.Fprintf(w, "centroid tree optimal on every tested (n,k): %v\n\n", all)
+
+	fmt.Fprintln(w, Lemma9Scaling([]int{256, 512, 1024, 2048, 4096}, ks).Render())
+	fmt.Fprintln(w, EntropyBoundCheck(loads, 3).Render())
+
+	abTr := loads.Temporals[0.5]
+	abKs := []int{2, 4, 8}
+	fmt.Fprintln(w, AblationCostAccounting(abTr, abKs).Render())
+	fmt.Fprintln(w, AblationSemiSplayOnly(abTr, abKs).Render())
+	fmt.Fprintln(w, AblationBlockPolicy(abTr, abKs).Render())
+	fmt.Fprintln(w, AblationInitialTopology(abTr, 4).Render())
+
+	m := int64(abTr.Len())
+	fmt.Fprintln(w, LazyVsReactive(abTr, 4, []int64{m / 2, 2 * m, 8 * m}).Render())
+}

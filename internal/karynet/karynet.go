@@ -1,0 +1,84 @@
+// Package karynet implements the k-ary SplayNet of Section 4.1 of the
+// paper: a self-adjusting k-ary search tree network that serves a request
+// (u,v) by routing along the tree path and then moving u to the position of
+// the lowest common ancestor and v to a child of u, using the
+// identifier-preserving k-splay and k-semi-splay rotations of
+// internal/core. After the adjustment a repeated request costs one hop.
+package karynet
+
+import (
+	"fmt"
+
+	"github.com/ksan-net/ksan/internal/core"
+	"github.com/ksan-net/ksan/internal/sim"
+)
+
+// Net is a k-ary SplayNet on nodes 1..n.
+type Net struct {
+	t *core.Tree
+	// semiOnly restricts the repertoire to k-semi-splay steps (the
+	// rotation-repertoire ablation).
+	semiOnly bool
+}
+
+// New constructs a k-ary SplayNet with a weakly-complete balanced initial
+// topology, the default starting network of the experiments.
+func New(n, k int) (*Net, error) {
+	t, err := core.NewBalanced(n, k)
+	if err != nil {
+		return nil, fmt.Errorf("karynet: %w", err)
+	}
+	return &Net{t: t}, nil
+}
+
+// MustNew is New for known-good parameters.
+func MustNew(n, k int) *Net {
+	net, err := New(n, k)
+	if err != nil {
+		panic(err)
+	}
+	return net
+}
+
+// NewFromTree wraps an arbitrary initial topology (the model allows any
+// valid starting network G0).
+func NewFromTree(t *core.Tree) *Net { return &Net{t: t} }
+
+// SetSemiSplayOnly restricts self-adjustment to single k-semi-splay steps;
+// used by the rotation-repertoire ablation.
+func (net *Net) SetSemiSplayOnly(on bool) { net.semiOnly = on }
+
+// Name implements sim.Network.
+func (net *Net) Name() string { return fmt.Sprintf("%d-ary SplayNet", net.t.K()) }
+
+// N implements sim.Network.
+func (net *Net) N() int { return net.t.N() }
+
+// K returns the arity bound of the underlying search tree.
+func (net *Net) K() int { return net.t.K() }
+
+// Tree exposes the underlying topology for inspection and validation.
+func (net *Net) Tree() *core.Tree { return net.t }
+
+// Serve implements sim.Network: the request is routed on the current
+// topology (routing cost = path length), then u is splayed to the position
+// of the lowest common ancestor of u and v, and v is splayed to become a
+// child of u. Each k-splay or k-semi-splay step is charged one unit.
+func (net *Net) Serve(u, v int) sim.Cost {
+	t := net.t
+	a, b := t.NodeByID(u), t.NodeByID(v)
+	if a == b {
+		return sim.Cost{}
+	}
+	dist := int64(t.Distance(a, b))
+	w := t.LCA(a, b)
+	before := t.Rotations()
+	if net.semiOnly {
+		t.SemiSplayUntilParent(a, w.Parent())
+		t.SemiSplayUntilParent(b, a)
+	} else {
+		t.SplayUntilParent(a, w.Parent())
+		t.SplayUntilParent(b, a)
+	}
+	return sim.Cost{Routing: dist, Adjust: t.Rotations() - before}
+}

@@ -1,0 +1,198 @@
+package karynet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ksan-net/ksan/internal/core"
+	"github.com/ksan-net/ksan/internal/sim"
+	"github.com/ksan-net/ksan/internal/splaynet"
+)
+
+func TestServeMakesPairAdjacent(t *testing.T) {
+	for _, k := range []int{2, 3, 4, 5, 8, 10} {
+		net := MustNew(200, k)
+		rng := rand.New(rand.NewSource(int64(k)))
+		for i := 0; i < 250; i++ {
+			u, v := 1+rng.Intn(200), 1+rng.Intn(200)
+			if u == v {
+				continue
+			}
+			net.Serve(u, v)
+			if d := net.Tree().DistanceID(u, v); d != 1 {
+				t.Fatalf("k=%d: after Serve(%d,%d) distance %d, want 1", k, u, v, d)
+			}
+		}
+		if err := net.Tree().Validate(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestServeSelfRequestFree(t *testing.T) {
+	net := MustNew(30, 3)
+	if c := net.Serve(7, 7); c.Routing != 0 || c.Adjust != 0 {
+		t.Errorf("self request cost %+v", c)
+	}
+}
+
+func TestServeRoutingCostIsOldDistance(t *testing.T) {
+	net := MustNew(100, 4)
+	u, v := 1, 100
+	want := int64(net.Tree().DistanceID(u, v))
+	if c := net.Serve(u, v); c.Routing != want {
+		t.Errorf("routing cost %d, want pre-adjustment distance %d", c.Routing, want)
+	}
+}
+
+func TestRepeatedRequestCheap(t *testing.T) {
+	for _, k := range []int{2, 5, 9} {
+		net := MustNew(300, k)
+		net.Serve(17, 250)
+		c := net.Serve(17, 250)
+		if c.Routing != 1 || c.Adjust != 0 {
+			t.Errorf("k=%d repeated request cost %+v, want {1,0}", k, c)
+		}
+	}
+}
+
+func TestIdentifierPermanenceUnderServes(t *testing.T) {
+	net := MustNew(150, 4)
+	objs := make(map[int]*core.Node)
+	for id := 1; id <= 150; id++ {
+		objs[id] = net.Tree().NodeByID(id)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		net.Serve(1+rng.Intn(150), 1+rng.Intn(150))
+	}
+	for id := 1; id <= 150; id++ {
+		if net.Tree().NodeByID(id) != objs[id] || objs[id].ID() != id {
+			t.Fatalf("identifier of node %d not permanent", id)
+		}
+	}
+}
+
+func TestHigherKLowersRoutingCost(t *testing.T) {
+	// The paper's first experimental claim (Tables 1-7, row 1): the total
+	// routing cost decreases as k grows. Check monotone trend end-to-end on
+	// a uniform workload (allow small local non-monotonicity, require the
+	// k=10 cost well below k=2).
+	n, m := 255, 8000
+	rng := rand.New(rand.NewSource(9))
+	reqs := make([]sim.Request, m)
+	for i := range reqs {
+		u, v := 1+rng.Intn(n), 1+rng.Intn(n)
+		for u == v {
+			v = 1 + rng.Intn(n)
+		}
+		reqs[i] = sim.Request{Src: u, Dst: v}
+	}
+	cost := map[int]int64{}
+	for _, k := range []int{2, 4, 10} {
+		res := sim.Run(MustNew(n, k), reqs)
+		cost[k] = res.Routing
+	}
+	if !(cost[10] < cost[4] && cost[4] < cost[2]) {
+		t.Errorf("routing cost not decreasing in k: k2=%d k4=%d k10=%d", cost[2], cost[4], cost[10])
+	}
+	if float64(cost[10]) > 0.9*float64(cost[2]) {
+		t.Errorf("k=10 saves too little over k=2: %d vs %d", cost[10], cost[2])
+	}
+}
+
+func TestBinaryKAryTracksSplayNet(t *testing.T) {
+	// 2-ary SplayNet and the independent binary SplayNet implementation are
+	// the same algorithm up to rotation tie-breaking; their total costs on
+	// the same trace must agree within a small factor.
+	n, m := 127, 5000
+	rng := rand.New(rand.NewSource(13))
+	reqs := make([]sim.Request, m)
+	for i := range reqs {
+		u, v := 1+rng.Intn(n), 1+rng.Intn(n)
+		for u == v {
+			v = 1 + rng.Intn(n)
+		}
+		reqs[i] = sim.Request{Src: u, Dst: v}
+	}
+	kary := sim.Run(MustNew(n, 2), reqs)
+	bin := sim.Run(splaynet.MustNew(n), reqs)
+	ratio := float64(kary.Total()) / float64(bin.Total())
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("2-ary SplayNet total %d vs SplayNet %d (ratio %.3f) diverge too much",
+			kary.Total(), bin.Total(), ratio)
+	}
+}
+
+func TestSemiSplayOnlyStillCorrect(t *testing.T) {
+	net := MustNew(100, 3)
+	net.SetSemiSplayOnly(true)
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 200; i++ {
+		u, v := 1+rng.Intn(100), 1+rng.Intn(100)
+		if u == v {
+			continue
+		}
+		net.Serve(u, v)
+		if d := net.Tree().DistanceID(u, v); d != 1 {
+			t.Fatalf("semi-only: after Serve(%d,%d) distance %d", u, v, d)
+		}
+	}
+	if err := net.Tree().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeFromArbitraryInitialTopology(t *testing.T) {
+	tr, err := core.NewPath(60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewFromTree(tr)
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 300; i++ {
+		u, v := 1+rng.Intn(60), 1+rng.Intn(60)
+		if u == v {
+			continue
+		}
+		net.Serve(u, v)
+	}
+	if err := net.Tree().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Self-adjustment should have pulled the topology far away from the
+	// degenerate path.
+	if h := net.Tree().Height(); h >= 59 {
+		t.Errorf("height still %d after 300 serves from a path", h)
+	}
+}
+
+func TestName(t *testing.T) {
+	if got := MustNew(10, 7).Name(); got != "7-ary SplayNet" {
+		t.Errorf("Name()=%q", got)
+	}
+}
+
+func TestQuickServeKeepsSearchProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8, ops []uint32) bool {
+		k := 2 + int(kRaw%9)
+		n := 48
+		net := MustNew(n, k)
+		if len(ops) > 60 {
+			ops = ops[:60]
+		}
+		for _, op := range ops {
+			u := 1 + int(op%uint32(n))
+			v := 1 + int((op/256)%uint32(n))
+			net.Serve(u, v)
+			if u != v && net.Tree().DistanceID(u, v) != 1 {
+				return false
+			}
+		}
+		return net.Tree().Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+package lazynet
+
+import (
+	"testing"
+
+	"github.com/ksan-net/ksan/internal/core"
+	"github.com/ksan-net/ksan/internal/sim"
+	"github.com/ksan-net/ksan/internal/statictree"
+	"github.com/ksan-net/ksan/internal/workload"
+)
+
+func TestNewRejectsBadParams(t *testing.T) {
+	if _, err := New(10, 3, 0); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+	if _, err := New(0, 3, 10); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestNoRebuildBelowThreshold(t *testing.T) {
+	net := MustNew(50, 3, 1<<40)
+	tr := workload.Uniform(50, 2000, 1)
+	res := sim.Run(net, tr.Reqs)
+	if net.Rebuilds() != 0 {
+		t.Errorf("rebuilt %d times below threshold", net.Rebuilds())
+	}
+	if res.Adjust != 0 {
+		t.Errorf("adjustment cost %d without rebuilds", res.Adjust)
+	}
+}
+
+func TestRebuildTriggersAtThreshold(t *testing.T) {
+	net := MustNew(50, 3, 500)
+	tr := workload.Zipf(50, 5000, 1.3, 2)
+	res := sim.Run(net, tr.Reqs)
+	if net.Rebuilds() == 0 {
+		t.Error("never rebuilt despite a low threshold")
+	}
+	if res.Adjust == 0 {
+		t.Error("rebuilds must charge link churn")
+	}
+	if err := net.Tree().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRebuildAdaptsToSkew(t *testing.T) {
+	// After rebuilds driven by a skewed demand, the hot pair must sit close.
+	net := MustNew(60, 2, 2000)
+	reqs := make([]sim.Request, 4000)
+	for i := range reqs {
+		if i%4 == 0 {
+			reqs[i] = sim.Request{Src: 7, Dst: 55}
+		} else {
+			reqs[i] = sim.Request{Src: 1 + i%60, Dst: 1 + (i*13)%60}
+			if reqs[i].Src == reqs[i].Dst {
+				reqs[i].Dst = 1 + reqs[i].Dst%60
+			}
+		}
+	}
+	sim.Run(net, reqs)
+	if net.Rebuilds() == 0 {
+		t.Fatal("expected rebuilds")
+	}
+	// The weight-balanced rebuild is an approximation, so require the hot
+	// pair to sit strictly closer than in the oblivious full tree rather
+	// than exactly adjacent.
+	full, err := statictree.Full(60, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, obl := net.Tree().DistanceID(7, 55), full.DistanceID(7, 55); got >= obl {
+		t.Errorf("hot pair at distance %d after rebuilds, oblivious tree has %d", got, obl)
+	}
+}
+
+func TestLazyBeatsStaticUnderDrift(t *testing.T) {
+	// A workload whose hot set drifts over time: the lazy net re-optimizes
+	// per epoch and must beat the one-shot oblivious tree on routing cost.
+	n := 64
+	var reqs []sim.Request
+	for epoch := 0; epoch < 8; epoch++ {
+		base := 1 + epoch*7
+		for i := 0; i < 3000; i++ {
+			u := 1 + (base+i%4)%n
+			v := 1 + (base+3+(i*7)%5)%n
+			if u == v {
+				v = 1 + v%n
+			}
+			reqs = append(reqs, sim.Request{Src: u, Dst: v})
+		}
+	}
+	lazy := MustNew(n, 2, 4000)
+	lres := sim.Run(lazy, reqs)
+	full, err := statictree.Full(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fres := sim.Run(statictree.NewNet("full", full), reqs)
+	if lres.Routing >= fres.Routing {
+		t.Errorf("lazy routing %d not below static full tree %d under drift", lres.Routing, fres.Routing)
+	}
+}
+
+func TestExactBuilderForSmallNetworks(t *testing.T) {
+	net := MustNew(24, 3, 300)
+	net.SetBuilder(statictree.Optimal)
+	tr := workload.ProjecToRLike(24, 3000, 3)
+	sim.Run(net, tr.Reqs)
+	if net.Rebuilds() == 0 {
+		t.Fatal("expected rebuilds with the exact builder")
+	}
+	if err := net.Tree().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkChurnSymmetricAndBounded(t *testing.T) {
+	a, err := core.NewBalanced(40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.NewPath(40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab := linkChurn(a, b)
+	ba := linkChurn(b, a)
+	if ab != ba {
+		t.Errorf("churn not symmetric: %d vs %d", ab, ba)
+	}
+	if ab == 0 {
+		t.Error("distinct topologies reported zero churn")
+	}
+	// At most all links replaced: 2·(n−1).
+	if ab > 2*39 {
+		t.Errorf("churn %d exceeds 2(n-1)", ab)
+	}
+	if got := linkChurn(a, a); got != 0 {
+		t.Errorf("identical topologies churn %d", got)
+	}
+}
+
+func TestName(t *testing.T) {
+	if got := MustNew(10, 4, 100).Name(); got != "lazy 4-ary net (α=100)" {
+		t.Errorf("Name()=%q", got)
+	}
+}

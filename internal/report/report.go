@@ -1,0 +1,104 @@
+// Package report renders experiment results as aligned ASCII tables in the
+// layout of the paper's Tables 1–8, plus Markdown for EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of cells; the first row of Cells is rendered
+// under the header line.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render draws the table with aligned columns.
+func (t Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored Markdown table.
+func (t Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Header)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// Ratio formats other/base in the paper's "0.87x" style; "-" when either
+// value is unavailable.
+func Ratio(other, base int64) string {
+	if base == 0 || other < 0 || base < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", float64(other)/float64(base))
+}
+
+// RatioF is Ratio for float values.
+func RatioF(other, base float64) string {
+	if base == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.3fx", other/base)
+}
+
+// Count formats an absolute cost.
+func Count(v int64) string { return fmt.Sprintf("%d", v) }
+
+// Avg formats a per-request average cost.
+func Avg(total int64, requests int) string {
+	if requests == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", float64(total)/float64(requests))
+}

@@ -1,0 +1,64 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := Table{Title: "T", Header: []string{"name", "v"}}
+	tb.AddRow("a", "1.00x")
+	tb.AddRow("longername", "2")
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two data rows
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "T" {
+		t.Errorf("title line %q", lines[0])
+	}
+	// All data rows should align the second column at the same offset.
+	off1 := strings.Index(lines[3], "1.00x")
+	off2 := strings.Index(lines[4], "2")
+	if off1 != off2 {
+		t.Errorf("columns misaligned: %d vs %d\n%s", off1, off2, out)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := Table{Title: "M", Header: []string{"a", "b"}}
+	tb.AddRow("x", "y")
+	md := tb.Markdown()
+	for _, want := range []string{"**M**", "| a | b |", "|---|---|", "| x | y |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(87, 100); got != "0.87x" {
+		t.Errorf("Ratio=%q", got)
+	}
+	if got := Ratio(100, 0); got != "-" {
+		t.Errorf("Ratio by zero=%q", got)
+	}
+	if got := RatioF(1.059, 1.0); got != "1.059x" {
+		t.Errorf("RatioF=%q", got)
+	}
+	if got := RatioF(1, 0); got != "-" {
+		t.Errorf("RatioF by zero=%q", got)
+	}
+}
+
+func TestAvgAndCount(t *testing.T) {
+	if got := Avg(300, 100); got != "3.000" {
+		t.Errorf("Avg=%q", got)
+	}
+	if got := Avg(300, 0); got != "-" {
+		t.Errorf("Avg zero=%q", got)
+	}
+	if got := Count(42); got != "42" {
+		t.Errorf("Count=%q", got)
+	}
+}

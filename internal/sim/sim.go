@@ -1,0 +1,113 @@
+// Package sim defines the cost model of the paper (Section 2) and a small
+// simulation engine that serves communication traces on network topologies.
+//
+// Serving request σ_t=(u,v) on topology G_{t-1} costs the u–v path length
+// (routing cost) plus the reconfiguration performed afterwards (adjustment
+// cost). Following the paper's experiments, the adjustment cost charges one
+// unit per rotation; the raw link-churn metric of the model is available
+// separately for the cost-accounting ablation.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Cost is the price of serving a single communication request.
+type Cost struct {
+	// Routing is the path length, in edges, between source and destination
+	// in the topology at the time the request is served.
+	Routing int64
+	// Adjust is the self-adjustment cost charged after serving the request
+	// (number of rotations; zero for static topologies).
+	Adjust int64
+}
+
+// Network is a (possibly self-adjusting) network topology that serves
+// communication requests between nodes 1..N().
+type Network interface {
+	// Name identifies the network design in reports.
+	Name() string
+	// N returns the number of network nodes.
+	N() int
+	// Serve routes one request and performs any self-adjustment,
+	// returning the cost incurred.
+	Serve(src, dst int) Cost
+}
+
+// Request is a single communication request from Src to Dst (ids 1..n).
+type Request struct {
+	Src, Dst int
+}
+
+// Result aggregates the cost of serving a trace on one network.
+type Result struct {
+	Name     string
+	Requests int64
+	Routing  int64
+	Adjust   int64
+}
+
+// Total returns routing plus adjustment cost.
+func (r Result) Total() int64 { return r.Routing + r.Adjust }
+
+// AvgRouting returns the mean routing cost per request.
+func (r Result) AvgRouting() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Routing) / float64(r.Requests)
+}
+
+// AvgTotal returns the mean total (routing+adjustment) cost per request.
+func (r Result) AvgTotal() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Total()) / float64(r.Requests)
+}
+
+// Run serves every request of the trace on the network and returns the
+// aggregated cost.
+func Run(net Network, reqs []Request) Result {
+	res := Result{Name: net.Name(), Requests: int64(len(reqs))}
+	for _, rq := range reqs {
+		c := net.Serve(rq.Src, rq.Dst)
+		res.Routing += c.Routing
+		res.Adjust += c.Adjust
+	}
+	return res
+}
+
+// RunAll serves the same trace on several independently-constructed
+// networks concurrently (one goroutine per network, bounded by GOMAXPROCS)
+// and returns the results in input order. Constructors make each run own
+// its topology, so no synchronization of network state is needed.
+func RunAll(makers []func() Network, reqs []Request) []Result {
+	results := make([]Result, len(makers))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, mk := range makers {
+		wg.Add(1)
+		go func(i int, mk func() Network) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = Run(mk(), reqs)
+		}(i, mk)
+	}
+	wg.Wait()
+	return results
+}
+
+// Validate checks that a request sequence is well-formed for an n-node
+// network: endpoints in 1..n.
+func Validate(reqs []Request, n int) error {
+	for i, rq := range reqs {
+		if rq.Src < 1 || rq.Src > n || rq.Dst < 1 || rq.Dst > n {
+			return fmt.Errorf("sim: request %d (%d→%d) outside 1..%d", i, rq.Src, rq.Dst, n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+// Package splaynet implements the binary SplayNet of Schmid et al.
+// ("SplayNet: Towards Locally Self-Adjusting Networks", IEEE/ACM ToN 2016),
+// the baseline the paper compares against.
+//
+// SplayNet is a self-adjusting binary search tree network: each node's
+// identifier is its single routing key. Serving a request (u,v) routes along
+// the tree path (up to the lowest common ancestor, then down) and then
+// double-splays: u is splayed to the position of the lowest common ancestor
+// of u and v, and v is splayed to become a child of u, so that a repetition
+// of the request costs one hop.
+//
+// The implementation is deliberately independent of the k-ary machinery in
+// internal/core so the two can cross-validate each other (k-ary SplayNet
+// with k=2 must behave like this package up to rotation tie-breaking).
+package splaynet
+
+import (
+	"fmt"
+
+	"github.com/ksan-net/ksan/internal/sim"
+)
+
+type node struct {
+	id      int
+	l, r, p *node
+}
+
+// Net is a binary SplayNet on nodes 1..n.
+type Net struct {
+	n         int
+	root      *node
+	byID      []*node
+	rotations int64
+}
+
+// New constructs a SplayNet with a balanced initial topology.
+func New(n int) (*Net, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("splaynet: need at least one node, got %d", n)
+	}
+	net := &Net{n: n, byID: make([]*node, n+1)}
+	net.root = net.buildBalanced(1, n, nil)
+	return net, nil
+}
+
+// MustNew is New for known-good parameters.
+func MustNew(n int) *Net {
+	net, err := New(n)
+	if err != nil {
+		panic(err)
+	}
+	return net
+}
+
+func (net *Net) buildBalanced(lo, hi int, p *node) *node {
+	if lo > hi {
+		return nil
+	}
+	mid := lo + (hi-lo)/2
+	nd := &node{id: mid, p: p}
+	net.byID[mid] = nd
+	nd.l = net.buildBalanced(lo, mid-1, nd)
+	nd.r = net.buildBalanced(mid+1, hi, nd)
+	return nd
+}
+
+// Name implements sim.Network.
+func (net *Net) Name() string { return "SplayNet" }
+
+// N implements sim.Network.
+func (net *Net) N() int { return net.n }
+
+// Rotations returns the cumulative number of splay steps performed (each
+// zig, zig-zig or zig-zag counts one, matching the k-ary accounting).
+func (net *Net) Rotations() int64 { return net.rotations }
+
+func (net *Net) depth(x *node) int {
+	d := 0
+	for x.p != nil {
+		x = x.p
+		d++
+	}
+	return d
+}
+
+func (net *Net) lca(a, b *node) *node {
+	da, db := net.depth(a), net.depth(b)
+	for da > db {
+		a, da = a.p, da-1
+	}
+	for db > da {
+		b, db = b.p, db-1
+	}
+	for a != b {
+		a, b = a.p, b.p
+	}
+	return a
+}
+
+// Distance returns the tree-path length between ids u and v.
+func (net *Net) Distance(u, v int) int {
+	a, b := net.byID[u], net.byID[v]
+	if a == b {
+		return 0
+	}
+	w := net.lca(a, b)
+	return net.depth(a) + net.depth(b) - 2*net.depth(w)
+}
+
+// rotateUp performs a single BST rotation lifting x above its parent.
+func (net *Net) rotateUp(x *node) {
+	p := x.p
+	g := p.p
+	if p.l == x {
+		p.l = x.r
+		if x.r != nil {
+			x.r.p = p
+		}
+		x.r = p
+	} else {
+		p.r = x.l
+		if x.l != nil {
+			x.l.p = p
+		}
+		x.l = p
+	}
+	p.p = x
+	x.p = g
+	if g == nil {
+		net.root = x
+	} else if g.l == p {
+		g.l = x
+	} else {
+		g.r = x
+	}
+}
+
+// splayUntilParent splays x upward until its parent is stop (nil for the
+// root position), using zig-zig / zig-zag double steps and a final zig.
+// Each elementary rotation (parent-child flip) is charged one unit,
+// matching the k-ary accounting in internal/core.
+func (net *Net) splayUntilParent(x, stop *node) {
+	for x.p != stop {
+		p := x.p
+		g := p.p
+		if g == stop {
+			net.rotateUp(x) // zig
+			net.rotations++
+		} else if (g.l == p) == (p.l == x) {
+			net.rotateUp(p) // zig-zig
+			net.rotateUp(x)
+			net.rotations += 2
+		} else {
+			net.rotateUp(x) // zig-zag
+			net.rotateUp(x)
+			net.rotations += 2
+		}
+	}
+}
+
+// Serve implements sim.Network: route (u,v) on the current tree, then
+// double-splay so the pair becomes adjacent.
+func (net *Net) Serve(u, v int) sim.Cost {
+	a, b := net.byID[u], net.byID[v]
+	if a == b {
+		return sim.Cost{}
+	}
+	dist := int64(net.Distance(u, v))
+	w := net.lca(a, b)
+	before := net.rotations
+	net.splayUntilParent(a, w.p)
+	net.splayUntilParent(b, a)
+	return sim.Cost{Routing: dist, Adjust: net.rotations - before}
+}
+
+// Validate checks the BST property, parent links and id coverage.
+func (net *Net) Validate() error {
+	count := 0
+	var walk func(nd *node, lo, hi int) error
+	walk = func(nd *node, lo, hi int) error {
+		if nd == nil {
+			return nil
+		}
+		if nd.id < lo || nd.id > hi {
+			return fmt.Errorf("splaynet: node %d outside (%d..%d)", nd.id, lo, hi)
+		}
+		if net.byID[nd.id] != nd {
+			return fmt.Errorf("splaynet: byID[%d] stale", nd.id)
+		}
+		count++
+		if nd.l != nil && nd.l.p != nd {
+			return fmt.Errorf("splaynet: bad parent link at %d.l", nd.id)
+		}
+		if nd.r != nil && nd.r.p != nd {
+			return fmt.Errorf("splaynet: bad parent link at %d.r", nd.id)
+		}
+		if err := walk(nd.l, lo, nd.id-1); err != nil {
+			return err
+		}
+		return walk(nd.r, nd.id+1, hi)
+	}
+	if net.root == nil || net.root.p != nil {
+		return fmt.Errorf("splaynet: bad root")
+	}
+	if err := walk(net.root, 1, net.n); err != nil {
+		return err
+	}
+	if count != net.n {
+		return fmt.Errorf("splaynet: %d nodes reachable, want %d", count, net.n)
+	}
+	return nil
+}
+
+// Depth returns the current depth of id (root is 0); exported for tests.
+func (net *Net) Depth(id int) int { return net.depth(net.byID[id]) }
+
+// RootID returns the identifier currently at the root.
+func (net *Net) RootID() int { return net.root.id }

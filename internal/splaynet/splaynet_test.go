@@ -1,0 +1,155 @@
+package splaynet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBalanced(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 100, 1023} {
+		net, err := New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+	if _, err := New(0); err == nil {
+		t.Error("New(0) should fail")
+	}
+}
+
+func TestBalancedDepthLogarithmic(t *testing.T) {
+	net := MustNew(1023)
+	for id := 1; id <= 1023; id++ {
+		if d := net.Depth(id); d > 9 {
+			t.Fatalf("depth(%d)=%d exceeds log2(1024)", id, d)
+		}
+	}
+}
+
+func TestServeMakesPairAdjacent(t *testing.T) {
+	net := MustNew(127)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		u, v := 1+rng.Intn(127), 1+rng.Intn(127)
+		if u == v {
+			continue
+		}
+		net.Serve(u, v)
+		if d := net.Distance(u, v); d != 1 {
+			t.Fatalf("after Serve(%d,%d) distance is %d, want 1", u, v, d)
+		}
+		if err := net.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestServeSelfRequestFree(t *testing.T) {
+	net := MustNew(10)
+	c := net.Serve(4, 4)
+	if c.Routing != 0 || c.Adjust != 0 {
+		t.Errorf("self request cost %+v, want zero", c)
+	}
+}
+
+func TestServeRoutingCostIsOldDistance(t *testing.T) {
+	net := MustNew(63)
+	u, v := 1, 63
+	want := int64(net.Distance(u, v))
+	c := net.Serve(u, v)
+	if c.Routing != want {
+		t.Errorf("routing cost %d, want pre-adjustment distance %d", c.Routing, want)
+	}
+}
+
+func TestRepeatedRequestCheap(t *testing.T) {
+	net := MustNew(255)
+	net.Serve(3, 200)
+	c := net.Serve(3, 200)
+	if c.Routing != 1 {
+		t.Errorf("repeated request routed %d hops, want 1", c.Routing)
+	}
+	if c.Adjust != 0 {
+		t.Errorf("repeated request caused %d rotations, want 0", c.Adjust)
+	}
+}
+
+func TestStaticOptimalitySkew(t *testing.T) {
+	// Repeatedly accessing a tiny working set must be far cheaper than
+	// uniform access (the qualitative content of splay-tree static
+	// optimality / Theorem 12-13 of the paper).
+	n, m := 511, 20000
+	rng := rand.New(rand.NewSource(2))
+	hot := MustNew(n)
+	var hotCost int64
+	for i := 0; i < m; i++ {
+		c := hot.Serve(1+rng.Intn(4), 1+rng.Intn(4)) // 4 hot nodes
+		hotCost += c.Routing + c.Adjust
+	}
+	uni := MustNew(n)
+	var uniCost int64
+	for i := 0; i < m; i++ {
+		c := uni.Serve(1+rng.Intn(n), 1+rng.Intn(n))
+		uniCost += c.Routing + c.Adjust
+	}
+	if hotCost*3 > uniCost {
+		t.Errorf("hot working set cost %d not ≪ uniform cost %d", hotCost, uniCost)
+	}
+}
+
+func TestLCAViaDistance(t *testing.T) {
+	net := MustNew(31)
+	// In the initial balanced BST on 1..31, root is 16.
+	if got := net.RootID(); got != 16 {
+		t.Fatalf("initial root %d, want 16", got)
+	}
+	// d(1,31) goes through the root: depth(1)+depth(31).
+	want := net.Depth(1) + net.Depth(31)
+	if got := net.Distance(1, 31); got != want {
+		t.Errorf("d(1,31)=%d want %d", got, want)
+	}
+}
+
+func TestQuickServeSequencesKeepBSTInvariant(t *testing.T) {
+	f := func(seed int64, ops []uint16) bool {
+		n := 64
+		net := MustNew(n)
+		if len(ops) > 100 {
+			ops = ops[:100]
+		}
+		for _, op := range ops {
+			u := 1 + int(op)%n
+			v := 1 + int(op/64)%n
+			net.Serve(u, v)
+			if net.Validate() != nil {
+				return false
+			}
+			if u != v && net.Distance(u, v) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceSymmetry(t *testing.T) {
+	net := MustNew(100)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		net.Serve(1+rng.Intn(100), 1+rng.Intn(100))
+	}
+	for u := 1; u <= 100; u += 9 {
+		for v := 1; v <= 100; v += 7 {
+			if net.Distance(u, v) != net.Distance(v, u) {
+				t.Fatalf("asymmetric distance (%d,%d)", u, v)
+			}
+		}
+	}
+}

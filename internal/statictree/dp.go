@@ -1,0 +1,288 @@
+package statictree
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"github.com/ksan-net/ksan/internal/core"
+	"github.com/ksan-net/ksan/internal/workload"
+)
+
+const inf = math.MaxInt64 / 4
+
+// Optimal computes an optimal static routing-based k-ary search tree
+// network for the given demand (Theorem 2/15): a tree minimizing
+// Σ d_T(u,v)·D[u,v] among all routing-based k-ary search trees. It returns
+// the tree and its total distance.
+//
+// Running time is O(n³·k) with the dp2 prefix-minimum trick of the paper's
+// proof; the fill is parallelized across segments of equal length. Memory
+// is Θ(n²·k) words, so callers should keep n in the low thousands (the
+// paper itself could not compute the optimum for its 10⁴-node Facebook
+// trace; see Table 3).
+func Optimal(d *workload.Demand, k int) (*core.Tree, int64, error) {
+	if k < 2 {
+		return nil, 0, fmt.Errorf("statictree: arity %d < 2", k)
+	}
+	n := d.N
+	if n < 1 {
+		return nil, 0, fmt.Errorf("statictree: empty demand")
+	}
+	if n > 4096 {
+		return nil, 0, fmt.Errorf("statictree: n=%d too large for the cubic DP (limit 4096); downscale the demand first", n)
+	}
+	sc, err := newSegmentCosts(d)
+	if err != nil {
+		return nil, 0, err
+	}
+	s := &dpSolver{n: n, k: k, sc: sc}
+	s.run()
+	spec := s.treeSpec(1, n)
+	tree, err := core.Build(k, spec)
+	if err != nil {
+		return nil, 0, fmt.Errorf("statictree: DP produced an invalid tree: %w", err)
+	}
+	return tree, s.get(1, n, 1), nil
+}
+
+// dpSolver holds the DP tables. Segments are 1-based, t ∈ 1..k.
+//
+// dp[i][j][t]  = minimal cost of partitioning segment [i,j] into exactly t
+//
+//	routing-based k-ary search trees (the children of some
+//	node), where the cost of a tree on [a,b] includes W[a,b],
+//	the traffic crossing the link to its parent.
+//
+// dp2[i][j][t] = min over 1..t of dp[i][j][·].
+type dpSolver struct {
+	n, k int
+	sc   *segmentCosts
+	dp   []int64
+	dp2  []int64
+}
+
+func (s *dpSolver) idx(i, j, t int) int {
+	return ((i-1)*s.n+(j-1))*s.k + (t - 1)
+}
+
+// get reads dp[i][j][t], treating empty segments as free.
+func (s *dpSolver) get(i, j, t int) int64 {
+	if i > j {
+		return 0
+	}
+	return s.dp[s.idx(i, j, t)]
+}
+
+// get2 reads dp2[i][j][t] (min over up to t parts); empty segments are free.
+func (s *dpSolver) get2(i, j, t int) int64 {
+	if i > j {
+		return 0
+	}
+	if t < 1 {
+		return inf
+	}
+	return s.dp2[s.idx(i, j, t)]
+}
+
+// splitCost is the cheapest way to hang the children of a node with id r
+// whose segment is [i,j]: the left children cover [i,r-1], the right
+// children cover [r+1,j], and the routing array has room for k children
+// when both sides are used, or k-1 children plus the node's own id
+// threshold when one side is empty (routing-based trees keep r in the
+// routing array).
+func (s *dpSolver) splitCost(i, r, j int) int64 {
+	leftEmpty := r == i
+	rightEmpty := r == j
+	switch {
+	case leftEmpty && rightEmpty:
+		return 0
+	case leftEmpty:
+		return s.get2(r+1, j, s.k-1)
+	case rightEmpty:
+		return s.get2(i, r-1, s.k-1)
+	default:
+		best := int64(inf)
+		for dl := 1; dl <= s.k-1; dl++ {
+			v := s.get2(i, r-1, dl)
+			if v >= inf {
+				continue
+			}
+			v += s.get2(r+1, j, s.k-dl)
+			if v < best {
+				best = v
+			}
+		}
+		return best
+	}
+}
+
+func (s *dpSolver) run() {
+	size := s.n * s.n * s.k
+	s.dp = make([]int64, size)
+	s.dp2 = make([]int64, size)
+	workers := runtime.GOMAXPROCS(0)
+	for length := 1; length <= s.n; length++ {
+		lo, hi := 1, s.n-length+1
+		if hi < lo {
+			break
+		}
+		var wg sync.WaitGroup
+		chunk := (hi - lo + 1 + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			from := lo + w*chunk
+			to := from + chunk - 1
+			if to > hi {
+				to = hi
+			}
+			if from > to {
+				continue
+			}
+			wg.Add(1)
+			go func(from, to, length int) {
+				defer wg.Done()
+				for i := from; i <= to; i++ {
+					s.fillSegment(i, i+length-1)
+				}
+			}(from, to, length)
+		}
+		wg.Wait()
+	}
+}
+
+// fillSegment computes dp[i][j][·] and dp2[i][j][·]; all shorter segments
+// are already filled.
+func (s *dpSolver) fillSegment(i, j int) {
+	// t = 1: choose a root r and its child split.
+	best := int64(inf)
+	for r := i; r <= j; r++ {
+		if v := s.splitCost(i, r, j); v < best {
+			best = v
+		}
+	}
+	w := s.sc.W(i, j)
+	s.dp[s.idx(i, j, 1)] = best + w
+	s.dp2[s.idx(i, j, 1)] = best + w
+	// t ≥ 2: peel the first tree off the segment.
+	nodes := j - i + 1
+	for t := 2; t <= s.k; t++ {
+		best := int64(inf)
+		if t <= nodes {
+			for l := i; l <= j-t+1; l++ {
+				v := s.get(i, l, 1) + s.get(l+1, j, t-1)
+				if v < best {
+					best = v
+				}
+			}
+		}
+		s.dp[s.idx(i, j, t)] = best
+		prev := s.dp2[s.idx(i, j, t-1)]
+		if best < prev {
+			s.dp2[s.idx(i, j, t)] = best
+		} else {
+			s.dp2[s.idx(i, j, t)] = prev
+		}
+	}
+}
+
+// bestRootSplit re-derives the argmin of dp[i][j][1]: the root id and the
+// left/right child counts. Recomputing choices on demand keeps the tables
+// at two int64 arrays.
+func (s *dpSolver) bestRootSplit(i, j int) (r, dl, dr int) {
+	target := s.get(i, j, 1) - s.sc.W(i, j)
+	for r := i; r <= j; r++ {
+		leftEmpty := r == i
+		rightEmpty := r == j
+		switch {
+		case leftEmpty && rightEmpty:
+			if target == 0 {
+				return r, 0, 0
+			}
+		case leftEmpty:
+			if s.get2(r+1, j, s.k-1) == target {
+				return r, 0, s.minParts(r+1, j, s.k-1)
+			}
+		case rightEmpty:
+			if s.get2(i, r-1, s.k-1) == target {
+				return r, s.minParts(i, r-1, s.k-1), 0
+			}
+		default:
+			for dl := 1; dl <= s.k-1; dl++ {
+				lv := s.get2(i, r-1, dl)
+				if lv >= inf {
+					continue
+				}
+				if lv+s.get2(r+1, j, s.k-dl) == target {
+					return r, s.minParts(i, r-1, dl), s.minParts(r+1, j, s.k-dl)
+				}
+			}
+		}
+	}
+	panic(fmt.Sprintf("statictree: no root reproduces dp[%d][%d][1]", i, j))
+}
+
+// minParts returns a part count t ≤ maxT achieving dp2[i][j][maxT].
+func (s *dpSolver) minParts(i, j, maxT int) int {
+	want := s.get2(i, j, maxT)
+	for t := 1; t <= maxT; t++ {
+		if s.get(i, j, t) == want {
+			return t
+		}
+	}
+	panic("statictree: dp2 value unreachable")
+}
+
+// forestParts splits [i,j] into t consecutive segments reproducing
+// dp[i][j][t].
+func (s *dpSolver) forestParts(i, j, t int) [][2]int {
+	if t == 1 {
+		return [][2]int{{i, j}}
+	}
+	want := s.get(i, j, t)
+	for l := i; l <= j-t+1; l++ {
+		if s.get(i, l, 1)+s.get(l+1, j, t-1) == want {
+			return append([][2]int{{i, l}}, s.forestParts(l+1, j, t-1)...)
+		}
+	}
+	panic("statictree: forest split unreachable")
+}
+
+// treeSpec reconstructs the optimal tree on [i,j] as a core.Spec. The root
+// id always appears as a routing element (routing-based construction): the
+// threshold between the last left child and the first right child is r,
+// and when one side is empty r still delimits an empty slot.
+func (s *dpSolver) treeSpec(i, j int) *core.Spec {
+	r, dl, dr := s.bestRootSplit(i, j)
+	spec := &core.Spec{ID: r}
+	if dl > 0 {
+		for idx, part := range s.forestParts(i, r-1, dl) {
+			spec.Children = append(spec.Children, s.treeSpec(part[0], part[1]))
+			if idx < dl-1 {
+				spec.Thresholds = append(spec.Thresholds, part[1])
+			} else {
+				spec.Thresholds = append(spec.Thresholds, r)
+			}
+		}
+	} else if dr > 0 {
+		// Empty slot holding just the root id keeps the tree routing-based.
+		spec.Thresholds = append(spec.Thresholds, r)
+		spec.Children = append(spec.Children, nil)
+	}
+	if dr > 0 {
+		parts := s.forestParts(r+1, j, dr)
+		for idx, part := range parts {
+			spec.Children = append(spec.Children, s.treeSpec(part[0], part[1]))
+			if idx < dr-1 {
+				spec.Thresholds = append(spec.Thresholds, part[1])
+			}
+		}
+	} else if dl > 0 {
+		// The slot above the trailing threshold r stays empty.
+		spec.Children = append(spec.Children, nil)
+	}
+	if len(spec.Children) == 0 {
+		spec.Children = nil
+	}
+	return spec
+}

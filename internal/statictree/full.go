@@ -1,0 +1,18 @@
+package statictree
+
+import (
+	"fmt"
+
+	"github.com/ksan-net/ksan/internal/core"
+)
+
+// Full builds the weakly-complete (full) k-ary search tree on n nodes, the
+// demand-oblivious static baseline of the paper's evaluation (Lemma 9
+// shows its uniform total distance is n²·log_k n + O(n²)).
+func Full(n, k int) (*core.Tree, error) {
+	t, err := core.NewBalanced(n, k)
+	if err != nil {
+		return nil, fmt.Errorf("statictree: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,74 @@
+package statictree
+
+import (
+	"fmt"
+
+	"github.com/ksan-net/ksan/internal/workload"
+)
+
+// segmentCosts precomputes, for a demand on n nodes, the boundary-traffic
+// matrix W of the paper's dynamic program: W[i][j] is the number of
+// requests with exactly one endpoint inside the id segment [i,j]. The
+// paper's proof computes W in O(n³) (Claim 16); two-dimensional prefix
+// sums bring this to O(n²), which tests cross-check against the naive
+// definition.
+type segmentCosts struct {
+	n int
+	w [][]int64 // w[i][j] for 1 ≤ i ≤ j ≤ n; i,j 1-based
+}
+
+func newSegmentCosts(d *workload.Demand) (*segmentCosts, error) {
+	n := d.N
+	if n < 1 {
+		return nil, fmt.Errorf("statictree: empty demand")
+	}
+	// p[i][j] = Σ D[u][v] for u ≤ i, v ≤ j (1-based, p[0][*]=p[*][0]=0).
+	p := make([][]int64, n+1)
+	for i := range p {
+		p[i] = make([]int64, n+1)
+	}
+	for _, pc := range d.Pairs {
+		p[pc.Src][pc.Dst] += pc.Count
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			p[i][j] += p[i-1][j] + p[i][j-1] - p[i-1][j-1]
+		}
+	}
+	rect := func(u1, u2, v1, v2 int) int64 {
+		if u1 > u2 || v1 > v2 {
+			return 0
+		}
+		return p[u2][v2] - p[u1-1][v2] - p[u2][v1-1] + p[u1-1][v1-1]
+	}
+	sc := &segmentCosts{n: n, w: make([][]int64, n+1)}
+	for i := 1; i <= n; i++ {
+		sc.w[i] = make([]int64, n+1)
+		for j := i; j <= n; j++ {
+			out := rect(i, j, 1, n) + rect(1, n, i, j) - 2*rect(i, j, i, j)
+			sc.w[i][j] = out
+		}
+	}
+	return sc, nil
+}
+
+// W returns the boundary traffic of segment [i,j]; zero for empty segments.
+func (sc *segmentCosts) W(i, j int) int64 {
+	if i > j {
+		return 0
+	}
+	return sc.w[i][j]
+}
+
+// naiveW computes W[i][j] straight from the definition, for tests.
+func naiveW(d *workload.Demand, i, j int) int64 {
+	var w int64
+	for _, pc := range d.Pairs {
+		inU := pc.Src >= i && pc.Src <= j
+		inV := pc.Dst >= i && pc.Dst <= j
+		if inU != inV {
+			w += pc.Count
+		}
+	}
+	return w
+}

@@ -1,0 +1,33 @@
+package statictree
+
+import (
+	"github.com/ksan-net/ksan/internal/core"
+	"github.com/ksan-net/ksan/internal/sim"
+)
+
+// Net wraps a static topology as a sim.Network: requests are routed along
+// the (fixed) tree path and no adjustment ever happens, so the adjustment
+// cost is always zero.
+type Net struct {
+	name string
+	t    *core.Tree
+}
+
+// NewNet wraps tree as a static network labelled name.
+func NewNet(name string, t *core.Tree) *Net {
+	return &Net{name: name, t: t}
+}
+
+// Name implements sim.Network.
+func (s *Net) Name() string { return s.name }
+
+// N implements sim.Network.
+func (s *Net) N() int { return s.t.N() }
+
+// Tree returns the wrapped topology.
+func (s *Net) Tree() *core.Tree { return s.t }
+
+// Serve implements sim.Network: routing cost only.
+func (s *Net) Serve(u, v int) sim.Cost {
+	return sim.Cost{Routing: int64(s.t.DistanceID(u, v))}
+}

@@ -1,0 +1,23 @@
+package statictree
+
+import (
+	"github.com/ksan-net/ksan/internal/core"
+	"github.com/ksan-net/ksan/internal/workload"
+)
+
+// TotalDistance evaluates the paper's objective for a static topology:
+// Σ d_T(u,v)·D[u,v], iterating the demand's distinct pairs (O(pairs·depth)).
+func TotalDistance(t *core.Tree, d *workload.Demand) int64 {
+	var total int64
+	for _, pc := range d.Pairs {
+		total += int64(t.DistanceID(pc.Src, pc.Dst)) * pc.Count
+	}
+	return total
+}
+
+// TotalDistanceUniform evaluates Σ_{u<v} d_T(u,v) in O(n) via edge
+// potentials (each edge splitting the tree into s and n−s nodes carries
+// s·(n−s) uniform pairs).
+func TotalDistanceUniform(t *core.Tree) int64 {
+	return t.TotalPairDistanceUniform()
+}

@@ -1,0 +1,153 @@
+package statictree
+
+import (
+	"fmt"
+
+	"github.com/ksan-net/ksan/internal/core"
+)
+
+// OptimalUniform computes an optimal static k-ary search tree for the
+// (finite) uniform workload in O(n²·k) time (Theorem 4): because both the
+// demand restricted to a segment and the boundary traffic W depend only on
+// the segment's length (Lemmas 18/19), the dynamic program collapses to
+// one dimension — it optimizes over tree shapes, and the search property
+// is imposed afterwards by an in-order id assignment.
+//
+// The returned cost is TotalDistance(D_uniform, T) = Σ_{u<v} d_T(u,v).
+func OptimalUniform(n, k int) (*core.Tree, int64, error) {
+	if k < 2 {
+		return nil, 0, fmt.Errorf("statictree: arity %d < 2", k)
+	}
+	if n < 1 {
+		return nil, 0, fmt.Errorf("statictree: need at least one node")
+	}
+	s := &uniformSolver{n: n, k: k}
+	s.run()
+	spec := s.treeSpec(1, n)
+	tree, err := core.Build(k, spec)
+	if err != nil {
+		return nil, 0, fmt.Errorf("statictree: uniform DP produced an invalid tree: %w", err)
+	}
+	return tree, s.tree[n], nil
+}
+
+// uniformSolver indexes the DP by segment length only.
+//
+// tree[s]      = cost of the best single tree on s nodes, including W(s)
+//
+//	(the traffic crossing the link to its parent).
+//
+// forest[s][t] = cost of the best forest of exactly t non-empty trees
+//
+//	covering s nodes in total.
+type uniformSolver struct {
+	n, k   int
+	tree   []int64   // tree[s], s in 0..n
+	forest [][]int64 // forest[s][t], t in 1..k
+}
+
+// w is the uniform-workload boundary traffic of any segment of length s:
+// each inside node exchanges one request with each outside node.
+func (s *uniformSolver) w(length int) int64 {
+	return int64(length) * int64(s.n-length)
+}
+
+func (s *uniformSolver) run() {
+	s.tree = make([]int64, s.n+1)
+	s.forest = make([][]int64, s.n+1)
+	for l := range s.forest {
+		s.forest[l] = make([]int64, s.k+1)
+		for t := range s.forest[l] {
+			s.forest[l][t] = inf
+		}
+	}
+	for length := 1; length <= s.n; length++ {
+		// Best single tree: root plus up to k child trees over length-1
+		// nodes.
+		best := int64(inf)
+		if length == 1 {
+			best = 0
+		}
+		maxT := s.k
+		if maxT > length-1 {
+			maxT = length - 1
+		}
+		for t := 1; t <= maxT; t++ {
+			if v := s.forest[length-1][t]; v < best {
+				best = v
+			}
+		}
+		s.tree[length] = best + s.w(length)
+		// Forests of this length.
+		s.forest[length][1] = s.tree[length]
+		for t := 2; t <= s.k && t <= length; t++ {
+			best := int64(inf)
+			for a := 1; a <= length-t+1; a++ {
+				v := s.tree[a] + s.forest[length-a][t-1]
+				if v < best {
+					best = v
+				}
+			}
+			s.forest[length][t] = best
+		}
+	}
+}
+
+// childSizes re-derives the child-tree sizes of the best tree on s nodes.
+func (s *uniformSolver) childSizes(length int) []int {
+	if length == 1 {
+		return nil
+	}
+	target := s.tree[length] - s.w(length)
+	maxT := s.k
+	if maxT > length-1 {
+		maxT = length - 1
+	}
+	for t := 1; t <= maxT; t++ {
+		if s.forest[length-1][t] == target {
+			return s.forestSizes(length-1, t)
+		}
+	}
+	panic("statictree: uniform child sizes unreachable")
+}
+
+func (s *uniformSolver) forestSizes(length, t int) []int {
+	if t == 1 {
+		return []int{length}
+	}
+	want := s.forest[length][t]
+	for a := 1; a <= length-t+1; a++ {
+		if s.tree[a]+s.forest[length-a][t-1] == want {
+			return append([]int{a}, s.forestSizes(length-a, t-1)...)
+		}
+	}
+	panic("statictree: uniform forest sizes unreachable")
+}
+
+// treeSpec lays the optimal shape onto the id interval [lo,hi]: the root id
+// sits right after the first child's interval, making the tree
+// routing-based (any in-order placement yields the same uniform cost).
+func (s *uniformSolver) treeSpec(lo, hi int) *core.Spec {
+	length := hi - lo + 1
+	if length == 1 {
+		return &core.Spec{ID: lo}
+	}
+	sizes := s.childSizes(length)
+	id := lo + sizes[0]
+	spec := &core.Spec{ID: id}
+	spec.Thresholds = append(spec.Thresholds, id)
+	spec.Children = append(spec.Children, s.treeSpec(lo, id-1))
+	slotLo := id + 1
+	for i := 1; i < len(sizes); i++ {
+		end := slotLo + sizes[i] - 1
+		spec.Children = append(spec.Children, s.treeSpec(slotLo, end))
+		if i < len(sizes)-1 {
+			spec.Thresholds = append(spec.Thresholds, end)
+		}
+		slotLo = end + 1
+	}
+	if len(sizes) == 1 {
+		spec.Children = append(spec.Children, nil) // slot above the root id
+	}
+	return spec
+}

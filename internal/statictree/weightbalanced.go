@@ -1,0 +1,156 @@
+package statictree
+
+import (
+	"fmt"
+
+	"github.com/ksan-net/ksan/internal/core"
+	"github.com/ksan-net/ksan/internal/workload"
+)
+
+// WeightBalanced builds a demand-aware k-ary search tree in O(n·k·log n) by
+// Mehlhorn-style weighted bisection: each segment picks the root at its
+// weighted median (point weight = total traffic at the node) and splits the
+// remainder into up to k child segments of near-equal weight.
+//
+// This is an extension beyond the paper, motivated by Table 3/Table 8: the
+// exact DP is out of reach at the Facebook trace's 10⁴ nodes (the paper
+// leaves that optimal-tree cell empty). Mehlhorn's rule carries a
+// constant-factor guarantee for binary search trees under point-access
+// demand; for the network objective it is a heuristic, so the harness
+// labels results "approx" wherever it substitutes for Optimal. Tests
+// measure its gap against the exact DP on random demands.
+//
+// We deliberately do NOT ship a Knuth-speedup DP: Knuth's root
+// monotonicity requires the quadrangle inequality, which the
+// SplayNet-style boundary traffic W violates (observed gaps exceeded 30%
+// on random demands), so that "optimization" would silently return wrong
+// optima.
+func WeightBalanced(d *workload.Demand, k int) (*core.Tree, int64, error) {
+	if k < 2 {
+		return nil, 0, fmt.Errorf("statictree: arity %d < 2", k)
+	}
+	n := d.N
+	if n < 1 {
+		return nil, 0, fmt.Errorf("statictree: empty demand")
+	}
+	// Point weights: total traffic with node x as either endpoint, +1 so
+	// untouched nodes still spread evenly.
+	weight := make([]int64, n+2)
+	for _, pc := range d.Pairs {
+		weight[pc.Src] += pc.Count
+		weight[pc.Dst] += pc.Count
+	}
+	prefix := make([]int64, n+2)
+	for x := 1; x <= n; x++ {
+		prefix[x] = prefix[x-1] + weight[x] + 1
+	}
+	wsum := func(i, j int) int64 {
+		if i > j {
+			return 0
+		}
+		return prefix[j] - prefix[i-1]
+	}
+	var build func(i, j int) *core.Spec
+	build = func(i, j int) *core.Spec {
+		if i > j {
+			return nil
+		}
+		if i == j {
+			return &core.Spec{ID: i}
+		}
+		// Weighted median of [i,j] as the root.
+		half := wsum(i, j) / 2
+		r := i
+		for r < j && wsum(i, r) < half {
+			r++
+		}
+		spec := &core.Spec{ID: r}
+		// Split each side into near-equal-weight parts, slots proportional
+		// to each side's share (at least one slot per non-empty side).
+		leftN, rightN := r-i, j-r
+		dl, dr := 0, 0
+		switch {
+		case leftN == 0 && rightN == 0:
+		case leftN == 0:
+			dr = minInt(k-1, rightN)
+		case rightN == 0:
+			dl = minInt(k-1, leftN)
+		default:
+			lw, rw := wsum(i, r-1), wsum(r+1, j)
+			dl = int(int64(k) * lw / (lw + rw))
+			dl = clampInt(dl, 1, k-1)
+			dl = minInt(dl, leftN)
+			dr = minInt(k-dl, rightN)
+		}
+		if dl > 0 {
+			parts := weightParts(i, r-1, dl, wsum)
+			for idx, part := range parts {
+				spec.Children = append(spec.Children, build(part[0], part[1]))
+				if idx < len(parts)-1 {
+					spec.Thresholds = append(spec.Thresholds, part[1])
+				} else {
+					spec.Thresholds = append(spec.Thresholds, r)
+				}
+			}
+		} else if dr > 0 {
+			spec.Thresholds = append(spec.Thresholds, r)
+			spec.Children = append(spec.Children, nil)
+		}
+		if dr > 0 {
+			parts := weightParts(r+1, j, dr, wsum)
+			for idx, part := range parts {
+				spec.Children = append(spec.Children, build(part[0], part[1]))
+				if idx < len(parts)-1 {
+					spec.Thresholds = append(spec.Thresholds, part[1])
+				}
+			}
+		} else if dl > 0 {
+			spec.Children = append(spec.Children, nil)
+		}
+		return spec
+	}
+	tree, err := core.Build(k, build(1, n))
+	if err != nil {
+		return nil, 0, fmt.Errorf("statictree: weight-balanced construction invalid: %w", err)
+	}
+	return tree, TotalDistance(tree, d), nil
+}
+
+// weightParts splits [i,j] into t contiguous non-empty parts of near-equal
+// weight.
+func weightParts(i, j, t int, wsum func(a, b int) int64) [][2]int {
+	parts := make([][2]int, 0, t)
+	start := i
+	for p := 1; p <= t; p++ {
+		remainingParts := t - p
+		end := start
+		if p < t {
+			target := wsum(start, j) / int64(remainingParts+1)
+			for end < j-remainingParts && wsum(start, end) < target {
+				end++
+			}
+		} else {
+			end = j
+		}
+		parts = append(parts, [2]int{start, end})
+		start = end + 1
+	}
+	return parts
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func clampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

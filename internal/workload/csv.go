@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/ksan-net/ksan/internal/sim"
+)
+
+// WriteCSV serializes a trace as CSV with a header row ("src,dst") preceded
+// by a comment-free metadata row "#name,n". The format is what
+// cmd/ksantrace produces and consumes.
+func WriteCSV(w io.Writer, tr Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"#" + tr.Name, strconv.Itoa(tr.N)}); err != nil {
+		return fmt.Errorf("workload: writing trace header: %w", err)
+	}
+	if err := cw.Write([]string{"src", "dst"}); err != nil {
+		return fmt.Errorf("workload: writing column header: %w", err)
+	}
+	for _, rq := range tr.Reqs {
+		if err := cw.Write([]string{strconv.Itoa(rq.Src), strconv.Itoa(rq.Dst)}); err != nil {
+			return fmt.Errorf("workload: writing request: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace produced by WriteCSV.
+func ReadCSV(r io.Reader) (Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	head, err := cr.Read()
+	if err != nil {
+		return Trace{}, fmt.Errorf("workload: reading trace header: %w", err)
+	}
+	if len(head[0]) == 0 || head[0][0] != '#' {
+		return Trace{}, fmt.Errorf("workload: missing #name metadata row")
+	}
+	n, err := strconv.Atoi(head[1])
+	if err != nil || n < 1 {
+		return Trace{}, fmt.Errorf("workload: bad node count %q", head[1])
+	}
+	tr := Trace{Name: head[0][1:], N: n}
+	if _, err := cr.Read(); err != nil { // column header
+		return Trace{}, fmt.Errorf("workload: reading column header: %w", err)
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Trace{}, fmt.Errorf("workload: reading request: %w", err)
+		}
+		u, err1 := strconv.Atoi(rec[0])
+		v, err2 := strconv.Atoi(rec[1])
+		if err1 != nil || err2 != nil {
+			return Trace{}, fmt.Errorf("workload: bad request record %v", rec)
+		}
+		tr.Reqs = append(tr.Reqs, sim.Request{Src: u, Dst: v})
+	}
+	if err := tr.Validate(); err != nil {
+		return Trace{}, err
+	}
+	return tr, nil
+}

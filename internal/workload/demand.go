@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ksan-net/ksan/internal/sim"
+)
+
+// PairCount is one aggregated demand-matrix entry: Count requests from Src
+// to Dst.
+type PairCount struct {
+	Src, Dst int
+	Count    int64
+}
+
+// Demand is a sparse demand matrix D over nodes 1..N: D[u,v] counts the
+// requests from u to v in a trace (the offline-static problem input).
+type Demand struct {
+	N     int
+	Pairs []PairCount
+	Total int64
+}
+
+// DemandFromTrace aggregates a trace into its demand matrix.
+func DemandFromTrace(tr Trace) *Demand {
+	type key struct{ u, v int }
+	acc := make(map[key]int64)
+	for _, rq := range tr.Reqs {
+		acc[key{rq.Src, rq.Dst}]++
+	}
+	d := &Demand{N: tr.N, Pairs: make([]PairCount, 0, len(acc))}
+	for k, c := range acc {
+		d.Pairs = append(d.Pairs, PairCount{Src: k.u, Dst: k.v, Count: c})
+		d.Total += c
+	}
+	sort.Slice(d.Pairs, func(i, j int) bool {
+		if d.Pairs[i].Src != d.Pairs[j].Src {
+			return d.Pairs[i].Src < d.Pairs[j].Src
+		}
+		return d.Pairs[i].Dst < d.Pairs[j].Dst
+	})
+	return d
+}
+
+// UniformDemand is the paper's finite uniform workload: every ordered pair
+// u<v requested exactly once (an upper-triangular matrix of ones).
+func UniformDemand(n int) *Demand {
+	d := &Demand{N: n}
+	for u := 1; u <= n; u++ {
+		for v := u + 1; v <= n; v++ {
+			d.Pairs = append(d.Pairs, PairCount{Src: u, Dst: v, Count: 1})
+		}
+	}
+	d.Total = int64(n) * int64(n-1) / 2
+	return d
+}
+
+// Dense expands the demand into an n×n matrix (0-indexed by id-1). It
+// refuses implausible sizes to protect callers from accidental huge
+// allocations; the cubic DP guards its own input size separately.
+func (d *Demand) Dense(maxN int) ([][]int64, error) {
+	if d.N > maxN {
+		return nil, fmt.Errorf("workload: dense matrix for n=%d exceeds limit %d", d.N, maxN)
+	}
+	m := make([][]int64, d.N)
+	for i := range m {
+		m[i] = make([]int64, d.N)
+	}
+	for _, pc := range d.Pairs {
+		m[pc.Src-1][pc.Dst-1] += pc.Count
+	}
+	return m, nil
+}
+
+// Downscale maps a demand on 1..N onto a smaller node count nNew by folding
+// ids modulo nNew (dropping pairs that collide onto self-loops). It is used
+// to run the cubic DP on reduced instances of very large traces, mirroring
+// the paper's own inability to compute the optimum at Facebook scale.
+func (d *Demand) Downscale(nNew int) *Demand {
+	if nNew >= d.N {
+		return d
+	}
+	type key struct{ u, v int }
+	acc := make(map[key]int64)
+	for _, pc := range d.Pairs {
+		u := 1 + (pc.Src-1)%nNew
+		v := 1 + (pc.Dst-1)%nNew
+		if u == v {
+			continue
+		}
+		acc[key{u, v}] += pc.Count
+	}
+	out := &Demand{N: nNew}
+	for k, c := range acc {
+		out.Pairs = append(out.Pairs, PairCount{Src: k.u, Dst: k.v, Count: c})
+		out.Total += c
+	}
+	sort.Slice(out.Pairs, func(i, j int) bool {
+		if out.Pairs[i].Src != out.Pairs[j].Src {
+			return out.Pairs[i].Src < out.Pairs[j].Src
+		}
+		return out.Pairs[i].Dst < out.Pairs[j].Dst
+	})
+	return out
+}
+
+// Requests converts a demand matrix back into an arbitrary-order request
+// sequence (used by tests to round-trip traces).
+func (d *Demand) Requests() []sim.Request {
+	reqs := make([]sim.Request, 0, d.Total)
+	for _, pc := range d.Pairs {
+		for c := int64(0); c < pc.Count; c++ {
+			reqs = append(reqs, sim.Request{Src: pc.Src, Dst: pc.Dst})
+		}
+	}
+	return reqs
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"math"
+)
+
+// Stats summarizes the complexity of a trace along the axes the paper's
+// analysis uses: temporal locality (repeat fraction), skew (entropies) and
+// sparsity (distinct pairs).
+type Stats struct {
+	Requests      int
+	DistinctPairs int
+	// RepeatFraction is the fraction of requests identical to their
+	// immediate predecessor (the empirical temporal-complexity parameter).
+	RepeatFraction float64
+	// SrcEntropy and DstEntropy are the empirical Shannon entropies (bits)
+	// of the source and destination marginals; they appear in the paper's
+	// Theorem 13 cost bound for k-ary SplayNet.
+	SrcEntropy float64
+	DstEntropy float64
+	// PairEntropy is the entropy of the joint (src,dst) distribution.
+	PairEntropy float64
+	// Top8PairShare is the traffic fraction of the 8 most popular pairs, a
+	// simple skew/sparsity indicator.
+	Top8PairShare float64
+}
+
+// Measure computes Stats for a trace.
+func Measure(tr Trace) Stats {
+	st := Stats{Requests: tr.Len()}
+	if tr.Len() == 0 {
+		return st
+	}
+	type key struct{ u, v int }
+	pairs := make(map[key]int64)
+	srcs := make(map[int]int64)
+	dsts := make(map[int]int64)
+	repeats := 0
+	for i, rq := range tr.Reqs {
+		pairs[key{rq.Src, rq.Dst}]++
+		srcs[rq.Src]++
+		dsts[rq.Dst]++
+		if i > 0 && rq == tr.Reqs[i-1] {
+			repeats++
+		}
+	}
+	st.DistinctPairs = len(pairs)
+	st.RepeatFraction = float64(repeats) / float64(tr.Len()-0)
+	m := float64(tr.Len())
+	entropy := func(counts map[int]int64) float64 {
+		h := 0.0
+		for _, c := range counts {
+			p := float64(c) / m
+			h -= p * math.Log2(p)
+		}
+		return h
+	}
+	st.SrcEntropy = entropy(srcs)
+	st.DstEntropy = entropy(dsts)
+	h := 0.0
+	var counts []int64
+	for _, c := range pairs {
+		p := float64(c) / m
+		h -= p * math.Log2(p)
+		counts = append(counts, c)
+	}
+	st.PairEntropy = h
+	// Partial selection of the 8 largest counts.
+	var top int64
+	for i := 0; i < 8 && i < len(counts); i++ {
+		maxIdx := i
+		for j := i + 1; j < len(counts); j++ {
+			if counts[j] > counts[maxIdx] {
+				maxIdx = j
+			}
+		}
+		counts[i], counts[maxIdx] = counts[maxIdx], counts[i]
+		top += counts[i]
+	}
+	st.Top8PairShare = float64(top) / m
+	return st
+}
+
+// EntropyBound evaluates the right-hand side of the paper's Theorem 13
+// bound for k-ary SplayNet on a trace: Σ_x a_x·log(m/a_x) + b_x·log(m/b_x),
+// where a_x and b_x count x's appearances as source and destination. The
+// harness reports it next to measured costs as a sanity check (the bound
+// holds up to a constant factor).
+func EntropyBound(tr Trace) float64 {
+	srcs := make(map[int]int64)
+	dsts := make(map[int]int64)
+	for _, rq := range tr.Reqs {
+		srcs[rq.Src]++
+		dsts[rq.Dst]++
+	}
+	m := float64(tr.Len())
+	sum := 0.0
+	for _, a := range srcs {
+		sum += float64(a) * math.Log2(m/float64(a))
+	}
+	for _, b := range dsts {
+		sum += float64(b) * math.Log2(m/float64(b))
+	}
+	return sum
+}

@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// zipfSampler draws ranks 1..n with probability proportional to 1/rank^s
+// via inverse-CDF binary search. It is a small deterministic alternative to
+// math/rand's rejection-based Zipf that makes the generated traces easy to
+// reason about in tests (the CDF is explicit).
+type zipfSampler struct {
+	cdf []float64
+}
+
+func newZipfSampler(n int, s float64) *zipfSampler {
+	cdf := make([]float64, n)
+	acc := 0.0
+	for r := 1; r <= n; r++ {
+		acc += 1 / math.Pow(float64(r), s)
+		cdf[r-1] = acc
+	}
+	for i := range cdf {
+		cdf[i] /= acc
+	}
+	return &zipfSampler{cdf: cdf}
+}
+
+// sample returns a rank in 1..n.
+func (z *zipfSampler) sample(rng *rand.Rand) int {
+	x := rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}

@@ -1,0 +1,193 @@
+// Package ksan is a library of self-adjusting k-ary search tree networks,
+// implementing Feder, Paramonov, Mavrin, Salem, Aksenov and Schmid,
+// "Toward Self-Adjusting k-ary Search Tree Networks" (IPDPS 2024,
+// arXiv:2302.13113), together with every substrate its evaluation needs.
+//
+// A k-ary search tree network is a reconfigurable datacenter topology: tree
+// nodes are network nodes (e.g. top-of-rack switches) with permanent
+// identifiers, and each node carries a routing array of k−1 routing
+// elements that makes greedy local routing possible even while the
+// topology self-adjusts. The package provides:
+//
+//   - online self-adjusting networks: the k-ary SplayNet (NewKArySplayNet),
+//     the centroid-based (k+1)-SplayNet (NewCentroidSplayNet), and the
+//     binary SplayNet baseline (NewSplayNet);
+//   - offline/static designs: the DP-optimal routing-based tree
+//     (OptimalStaticTree), the uniform-workload optimum
+//     (OptimalUniformTree), the O(n) centroid tree (CentroidTree), the
+//     full tree baseline (FullTree) and a weight-balanced approximation
+//     for very large instances (WeightBalancedTree);
+//   - workload generators mirroring the paper's evaluation traces, demand
+//     matrices, trace statistics and CSV I/O;
+//   - a simulation engine with the paper's cost model (Run, RunAll).
+//
+// The cmd/ksanbench binary regenerates every table and figure of the
+// paper's evaluation; see DESIGN.md and EXPERIMENTS.md.
+package ksan
+
+import (
+	"io"
+
+	"github.com/ksan-net/ksan/internal/centroidnet"
+	"github.com/ksan-net/ksan/internal/core"
+	"github.com/ksan-net/ksan/internal/karynet"
+	"github.com/ksan-net/ksan/internal/lazynet"
+	"github.com/ksan-net/ksan/internal/sim"
+	"github.com/ksan-net/ksan/internal/splaynet"
+	"github.com/ksan-net/ksan/internal/statictree"
+	"github.com/ksan-net/ksan/internal/workload"
+)
+
+// Request is a single communication request between two node ids (1..n).
+type Request = sim.Request
+
+// Cost is the price of serving one request: routing (path length in the
+// topology before adjustment) plus adjustment (one unit per elementary
+// rotation).
+type Cost = sim.Cost
+
+// Result aggregates the cost of a trace on one network.
+type Result = sim.Result
+
+// Network is a (possibly self-adjusting) topology serving requests.
+type Network = sim.Network
+
+// Trace is a finite communication sequence over nodes 1..N.
+type Trace = workload.Trace
+
+// Demand is a sparse demand matrix (the offline problem input).
+type Demand = workload.Demand
+
+// Stats summarizes a trace's locality, skew and sparsity.
+type Stats = workload.Stats
+
+// Tree is a k-ary search tree network topology.
+type Tree = core.Tree
+
+// Node is a single network node of a Tree.
+type Node = core.Node
+
+// KArySplayNet is the paper's online k-ary SplayNet (Section 4.1).
+type KArySplayNet = karynet.Net
+
+// CentroidSplayNet is the paper's online (k+1)-SplayNet (Section 4.2).
+type CentroidSplayNet = centroidnet.Net
+
+// SplayNet is the binary SplayNet baseline of Schmid et al.
+type SplayNet = splaynet.Net
+
+// LazyNet is the partially reactive meta-algorithm: the topology stays
+// static until the routing cost since the last reconfiguration crosses a
+// threshold, then a demand-aware topology is recomputed from the observed
+// traffic (the lazy SAN regime the paper's introduction describes).
+type LazyNet = lazynet.Net
+
+// StaticNet wraps a static topology as a Network (routing cost only).
+type StaticNet = statictree.Net
+
+// NewKArySplayNet constructs a k-ary SplayNet on n nodes with a balanced
+// initial topology.
+func NewKArySplayNet(n, k int) (*KArySplayNet, error) { return karynet.New(n, k) }
+
+// NewKArySplayNetFromTree wraps an arbitrary valid initial topology.
+func NewKArySplayNetFromTree(t *Tree) *KArySplayNet { return karynet.NewFromTree(t) }
+
+// NewCentroidSplayNet constructs a (k+1)-SplayNet on n nodes (n ≥ 3).
+func NewCentroidSplayNet(n, k int) (*CentroidSplayNet, error) { return centroidnet.New(n, k) }
+
+// NewSplayNet constructs the binary SplayNet baseline on n nodes.
+func NewSplayNet(n int) (*SplayNet, error) { return splaynet.New(n) }
+
+// NewLazyNet constructs a partially reactive k-ary network that rebuilds a
+// demand-aware topology whenever the routing cost since the last rebuild
+// reaches alpha.
+func NewLazyNet(n, k int, alpha int64) (*LazyNet, error) { return lazynet.New(n, k, alpha) }
+
+// NewStaticNet wraps a static tree topology as a Network.
+func NewStaticNet(name string, t *Tree) *StaticNet { return statictree.NewNet(name, t) }
+
+// NewBalancedTree builds the weakly-complete k-ary search tree on n nodes.
+func NewBalancedTree(n, k int) (*Tree, error) { return core.NewBalanced(n, k) }
+
+// NewPathTree builds the degenerate path topology (worst-case start).
+func NewPathTree(n, k int) (*Tree, error) { return core.NewPath(n, k) }
+
+// NewRandomTree builds a random valid k-ary search tree network.
+func NewRandomTree(n, k int, seed int64) (*Tree, error) { return core.NewRandom(n, k, seed) }
+
+// OptimalStaticTree computes the optimal static routing-based k-ary search
+// tree for a demand (Theorem 2; O(n³·k) time) and its total distance.
+func OptimalStaticTree(d *Demand, k int) (*Tree, int64, error) { return statictree.Optimal(d, k) }
+
+// OptimalUniformTree computes the optimal static k-ary search tree for the
+// uniform workload (Theorem 4; O(n²·k) time) and its total distance.
+func OptimalUniformTree(n, k int) (*Tree, int64, error) { return statictree.OptimalUniform(n, k) }
+
+// CentroidTree builds the centroid k-ary search tree in O(n) (Theorem 8);
+// it matches the uniform optimum on every instance we tested (Remark 10).
+func CentroidTree(n, k int) (*Tree, error) { return statictree.Centroid(n, k) }
+
+// FullTree builds the weakly-complete k-ary tree baseline.
+func FullTree(n, k int) (*Tree, error) { return statictree.Full(n, k) }
+
+// WeightBalancedTree builds a demand-aware k-ary tree by Mehlhorn-style
+// weighted bisection — an approximation for instances beyond the cubic
+// DP's reach (see the package documentation for its guarantees).
+func WeightBalancedTree(d *Demand, k int) (*Tree, int64, error) {
+	return statictree.WeightBalanced(d, k)
+}
+
+// TotalDistance evaluates Σ d_T(u,v)·D[u,v] for a static topology.
+func TotalDistance(t *Tree, d *Demand) int64 { return statictree.TotalDistance(t, d) }
+
+// TotalDistanceUniform evaluates Σ_{u<v} d_T(u,v) in O(n).
+func TotalDistanceUniform(t *Tree) int64 { return statictree.TotalDistanceUniform(t) }
+
+// UniformWorkload draws m uniform requests over n nodes.
+func UniformWorkload(n, m int, seed int64) Trace { return workload.Uniform(n, m, seed) }
+
+// TemporalWorkload draws m requests repeating the previous one with
+// probability p (the paper's synthetic workloads, Tables 4–7).
+func TemporalWorkload(n, m int, p float64, seed int64) Trace {
+	return workload.Temporal(n, m, p, seed)
+}
+
+// HPCWorkload generates the stencil/collective trace substituting for the
+// paper's DOE HPC dataset.
+func HPCWorkload(n, m int, seed int64) Trace { return workload.HPCLike(n, m, seed) }
+
+// ProjecToRWorkload generates the sparse skewed trace substituting for the
+// paper's ProjecToR dataset.
+func ProjecToRWorkload(n, m int, seed int64) Trace { return workload.ProjecToRLike(n, m, seed) }
+
+// FacebookWorkload generates the wide heavy-tailed trace substituting for
+// the paper's Facebook dataset.
+func FacebookWorkload(n, m int, seed int64) Trace { return workload.FacebookLike(n, m, seed) }
+
+// ZipfWorkload draws skewed endpoints with exponent s.
+func ZipfWorkload(n, m int, s float64, seed int64) Trace { return workload.Zipf(n, m, s, seed) }
+
+// DemandFromTrace aggregates a trace into its demand matrix.
+func DemandFromTrace(tr Trace) *Demand { return workload.DemandFromTrace(tr) }
+
+// UniformDemand is the finite uniform workload (every pair once).
+func UniformDemand(n int) *Demand { return workload.UniformDemand(n) }
+
+// MeasureTrace computes locality/skew/sparsity statistics of a trace.
+func MeasureTrace(tr Trace) Stats { return workload.Measure(tr) }
+
+// EntropyBound evaluates the Theorem 13 cost bound for a trace.
+func EntropyBound(tr Trace) float64 { return workload.EntropyBound(tr) }
+
+// WriteTraceCSV serializes a trace (see cmd/ksantrace).
+func WriteTraceCSV(w io.Writer, tr Trace) error { return workload.WriteCSV(w, tr) }
+
+// ReadTraceCSV parses a trace written by WriteTraceCSV.
+func ReadTraceCSV(r io.Reader) (Trace, error) { return workload.ReadCSV(r) }
+
+// Run serves a request sequence on a network and aggregates its cost.
+func Run(net Network, reqs []Request) Result { return sim.Run(net, reqs) }
+
+// RunAll serves the same requests on independently constructed networks
+// concurrently and returns results in input order.
+func RunAll(makers []func() Network, reqs []Request) []Result { return sim.RunAll(makers, reqs) }
