@@ -4,17 +4,23 @@
 // Usage:
 //
 //	ksanbench [-scale quick|default|paper] [-only 1,2,...,8|remark10|lemma9|entropy|ablations]
+//	          [-workers N] [-timeout 30m] [-progress]
 //
 // With no -only flag the whole suite runs in paper order. Scales differ in
 // trace length and node counts; see DESIGN.md §4 for the exact dimensions
-// and EXPERIMENTS.md for paper-vs-measured values.
+// and EXPERIMENTS.md for paper-vs-measured values. -workers bounds the
+// experiment engine's worker pool (default: GOMAXPROCS), -timeout aborts a
+// run that exceeds the deadline (partial tables are flushed), and
+// -progress streams per-section completion lines to stderr.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/ksan-net/ksan/internal/experiments"
 )
@@ -22,6 +28,9 @@ import (
 func main() {
 	scale := flag.String("scale", "default", "experiment scale: quick, default or paper")
 	only := flag.String("only", "", "comma-separated subset: 1..8, remark10, lemma9, entropy, ablations")
+	workers := flag.Int("workers", 0, "worker pool size for the experiment engine (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+	progress := flag.Bool("progress", false, "stream per-section progress lines to stderr")
 	flag.Parse()
 
 	sc, err := experiments.ScaleByName(*scale)
@@ -29,14 +38,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opt := experiments.Options{Workers: *workers}
+	if *progress {
+		start := time.Now()
+		opt.Progress = func(section string) {
+			fmt.Fprintf(os.Stderr, "[%8s] %s\n", time.Since(start).Round(time.Millisecond), section)
+		}
+	}
+
 	if *only == "" {
-		experiments.RunAll(os.Stdout, sc)
+		if err := experiments.RunSuite(ctx, os.Stdout, sc, opt); err != nil {
+			fmt.Fprintln(os.Stderr, "ksanbench:", err)
+			os.Exit(1)
+		}
 		return
 	}
 
+	if err := runOnly(ctx, sc, opt, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "ksanbench:", err)
+		os.Exit(1)
+	}
+}
+
+// runOnly regenerates the requested subset of the suite.
+func runOnly(ctx context.Context, sc experiments.Scale, opt experiments.Options, only string) error {
+	eng := opt.NewEngine()
 	loads := experiments.MakeWorkloads(sc)
 	wants := map[string]bool{}
-	for _, s := range strings.Split(*only, ",") {
+	for _, s := range strings.Split(only, ",") {
 		wants[strings.TrimSpace(s)] = true
 	}
 	anyTable := false
@@ -46,33 +82,74 @@ func main() {
 		}
 	}
 	if anyTable {
-		for i, res := range experiments.Tables1Through7(loads, sc) {
+		tables, err := experiments.Tables1Through7Ctx(ctx, eng, loads, sc)
+		if err != nil {
+			return err
+		}
+		for i, res := range tables {
 			if wants[fmt.Sprint(i+1)] {
 				fmt.Println(res.Table.Render())
 			}
 		}
+		opt.Report("tables 1-7 done")
 	}
 	if wants["8"] {
-		_, t8 := experiments.Table8(loads, sc)
+		_, t8, err := experiments.Table8Ctx(ctx, eng, loads, sc)
+		if err != nil {
+			return err
+		}
 		fmt.Println(t8.Render())
+		opt.Report("table 8 done")
 	}
 	if wants["remark10"] {
-		tbl, all := experiments.CentroidOptimality([]int{10, 30, 60, 100, 250, 500, 999}, []int{2, 3, 5, 10})
+		tbl, all, err := experiments.CentroidOptimalityCtx(ctx, opt.Workers, []int{10, 30, 60, 100, 250, 500, 999}, []int{2, 3, 5, 10})
+		if err != nil {
+			return err
+		}
 		fmt.Println(tbl.Render())
 		fmt.Printf("centroid tree optimal on every tested (n,k): %v\n\n", all)
+		opt.Report("remark 10 done")
 	}
 	if wants["lemma9"] {
-		fmt.Println(experiments.Lemma9Scaling([]int{256, 512, 1024, 2048, 4096}, []int{2, 3, 5, 10}).Render())
+		tbl, err := experiments.Lemma9ScalingCtx(ctx, opt.Workers, []int{256, 512, 1024, 2048, 4096}, []int{2, 3, 5, 10})
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl.Render())
+		opt.Report("lemma 9 done")
 	}
 	if wants["entropy"] {
-		fmt.Println(experiments.EntropyBoundCheck(loads, 3).Render())
+		tbl, err := experiments.EntropyBoundCheckCtx(ctx, eng, loads, 3)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl.Render())
+		opt.Report("entropy bound done")
 	}
 	if wants["ablations"] {
 		tr := loads.Temporals[0.5]
 		ks := []int{2, 4, 8}
-		fmt.Println(experiments.AblationCostAccounting(tr, ks).Render())
-		fmt.Println(experiments.AblationSemiSplayOnly(tr, ks).Render())
-		fmt.Println(experiments.AblationBlockPolicy(tr, ks).Render())
-		fmt.Println(experiments.AblationInitialTopology(tr, 4).Render())
+		a1, err := experiments.AblationCostAccountingCtx(ctx, eng, tr, ks)
+		if err != nil {
+			return err
+		}
+		fmt.Println(a1.Render())
+		a2, err := experiments.AblationSemiSplayOnlyCtx(ctx, eng, tr, ks)
+		if err != nil {
+			return err
+		}
+		fmt.Println(a2.Render())
+		a3, err := experiments.AblationBlockPolicyCtx(ctx, eng, tr, ks)
+		if err != nil {
+			return err
+		}
+		fmt.Println(a3.Render())
+		a4, err := experiments.AblationInitialTopologyCtx(ctx, eng, tr, 4)
+		if err != nil {
+			return err
+		}
+		fmt.Println(a4.Render())
+		opt.Report("ablations done")
 	}
+	return ctx.Err()
 }

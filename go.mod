@@ -1,0 +1,3 @@
+module github.com/ksan-net/ksan
+
+go 1.21

@@ -1,0 +1,69 @@
+package ksan
+
+import (
+	"testing"
+)
+
+// The compatibility contract of this package: Run and RunAll are now thin
+// wrappers over the streaming engine, but on any fixed-seed trace they
+// must produce Result{Name, Requests, Routing, Adjust} bit-identical to
+// the seed's plain serve loop. seedLoop reproduces that loop verbatim, and
+// the hardcoded goldens below pin the absolute values so the wrapper and
+// the reference cannot drift together unnoticed.
+
+func seedLoop(net Network, reqs []Request) Result {
+	res := Result{Name: net.Name(), Requests: int64(len(reqs))}
+	for _, rq := range reqs {
+		c := net.Serve(rq.Src, rq.Dst)
+		res.Routing += c.Routing
+		res.Adjust += c.Adjust
+	}
+	return res
+}
+
+func goldenTrace() Trace { return TemporalWorkload(127, 50_000, 0.75, 42) }
+
+func TestRunGoldenBitIdentical(t *testing.T) {
+	tr := goldenTrace()
+	golden := map[string]Result{
+		"4-ary SplayNet": {Name: "4-ary SplayNet", Requests: 50000, Routing: 123648, Adjust: 82864},
+		"3-SplayNet":     {Name: "3-SplayNet", Requests: 50000, Routing: 196784, Adjust: 96462},
+		"SplayNet":       {Name: "SplayNet", Requests: 50000, Routing: 144903, Adjust: 107608},
+		"full":           {Name: "full", Requests: 50000, Routing: 254331, Adjust: 0},
+	}
+	makers := map[string]func() Network{
+		"4-ary SplayNet": func() Network { n, _ := NewKArySplayNet(127, 4); return n },
+		"3-SplayNet":     func() Network { n, _ := NewCentroidSplayNet(127, 2); return n },
+		"SplayNet":       func() Network { n, _ := NewSplayNet(127); return n },
+		"full":           func() Network { f, _ := FullTree(127, 4); return NewStaticNet("full", f) },
+	}
+	for name, mk := range makers {
+		got := Run(mk(), tr.Reqs)
+		if got != golden[name] {
+			t.Errorf("%s: Run %+v, golden %+v", name, got, golden[name])
+		}
+		ref := seedLoop(mk(), tr.Reqs)
+		if got != ref {
+			t.Errorf("%s: Run %+v diverges from seed loop %+v", name, got, ref)
+		}
+	}
+}
+
+func TestRunAllGoldenBitIdentical(t *testing.T) {
+	tr := goldenTrace()
+	makers := []func() Network{
+		func() Network { n, _ := NewKArySplayNet(127, 4); return n },
+		func() Network { n, _ := NewCentroidSplayNet(127, 2); return n },
+		func() Network { f, _ := FullTree(127, 4); return NewStaticNet("full", f) },
+	}
+	got := RunAll(makers, tr.Reqs)
+	if len(got) != len(makers) {
+		t.Fatalf("got %d results", len(got))
+	}
+	for i, mk := range makers {
+		ref := seedLoop(mk(), tr.Reqs)
+		if got[i] != ref {
+			t.Errorf("result %d: RunAll %+v diverges from seed loop %+v", i, got[i], ref)
+		}
+	}
+}

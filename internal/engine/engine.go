@@ -1,0 +1,312 @@
+// Package engine is the streaming, sharded experiment engine behind the
+// paper's evaluation: it serves communication traces on network topologies
+// under the Section 2 cost model (like the seed internal/sim loop it
+// replaces) and adds the machinery a production-scale evaluation harness
+// needs — context cancellation, warmup/measurement windows, per-window
+// cost time-series, per-request routing percentiles, link-churn and
+// wall-clock throughput reporting, progress callbacks, and deterministic
+// parallel execution of declarative network×trace grids on a bounded
+// worker pool.
+//
+// Determinism contract: every field of Result except the wall-clock pair
+// (Elapsed, Throughput) is identical across runs and across worker counts.
+// Self-adjusting networks are always served sequentially (their state is
+// the experiment); only networks that opt in via sim.BatchServer have
+// their traces sharded across goroutines, and integer cost merging is
+// associative, so the totals cannot depend on the sharding.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/ksan-net/ksan/internal/core"
+	"github.com/ksan-net/ksan/internal/sim"
+)
+
+// ChurnReporter is an optional Network extension for designs that account
+// their own physical link churn (e.g. lazynet, whose topology object is
+// replaced wholesale on every rebuild).
+type ChurnReporter interface {
+	LinkChurn() int64
+}
+
+// treeHolder matches networks backed by a stable core.Tree, whose built-in
+// edge-churn counters the engine can enable and read.
+type treeHolder interface {
+	Tree() *core.Tree
+}
+
+// Engine runs traces on networks. Construct with New; the zero value is
+// not usable. An Engine is immutable after construction and safe for
+// concurrent use.
+type Engine struct {
+	workers  int
+	warmup   int
+	window   int
+	validate bool
+	churn    bool
+	progress func(Progress)
+
+	mu sync.Mutex // serializes progress callbacks
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithWorkers bounds the worker pool used for grid cells and batch-server
+// shards. Values below 1 fall back to GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(e *Engine) {
+		if n >= 1 {
+			e.workers = n
+		}
+	}
+}
+
+// WithWarmup excludes the first n requests of every trace from the
+// measured result; their cost is still reported in the Warmup* fields.
+func WithWarmup(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.warmup = n
+		}
+	}
+}
+
+// WithWindow enables the per-window cost time-series: one WindowSample per
+// w measured requests (plus a final partial window).
+func WithWindow(w int) Option {
+	return func(e *Engine) {
+		if w > 0 {
+			e.window = w
+		}
+	}
+}
+
+// WithProgress installs a progress callback. Callbacks are serialized, so
+// fn need not be goroutine-safe; it must not block for long.
+func WithProgress(fn func(Progress)) Option {
+	return func(e *Engine) { e.progress = fn }
+}
+
+// WithValidation toggles trace validation (on by default): runs reject
+// traces whose endpoints fall outside 1..net.N() with an error instead of
+// panicking deep inside a network.
+func WithValidation(on bool) Option {
+	return func(e *Engine) { e.validate = on }
+}
+
+// WithLinkChurn enables physical link-churn accounting on networks that
+// expose it (a ChurnReporter, or a stable core.Tree whose edge tracking
+// the engine can switch on). Off by default because tracking allocates on
+// every rotation.
+func WithLinkChurn(on bool) Option {
+	return func(e *Engine) { e.churn = on }
+}
+
+// New constructs an Engine; defaults are GOMAXPROCS workers, no warmup, no
+// time-series window, validation on, churn tracking off.
+func New(opts ...Option) *Engine {
+	e := &Engine{
+		workers:  runtime.GOMAXPROCS(0),
+		validate: true,
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Workers returns the configured worker-pool bound, so callers scheduling
+// auxiliary work (e.g. static-tree DP solves) on ParallelFor can honor the
+// same limit.
+func (e *Engine) Workers() int { return e.workers }
+
+// Run serves the trace on the network and returns the extended result. It
+// honors ctx: on cancellation it returns the partial result accumulated so
+// far together with ctx.Err(). Networks implementing sim.BatchServer are
+// evaluated through the batch path (sharded across the worker pool when
+// workers > 1); everything else is served strictly sequentially.
+func (e *Engine) Run(ctx context.Context, net sim.Network, reqs []sim.Request) (Result, error) {
+	return e.runOne(ctx, net, reqs, "", nil, e.workers)
+}
+
+// runOne is Run plus the grid bookkeeping (trace label, cell-progress
+// decoration) and an explicit shard bound: grid cells already occupy the
+// worker pool, so they pass shardWorkers=1 to keep total concurrency at
+// the configured bound instead of workers².
+func (e *Engine) runOne(ctx context.Context, net sim.Network, reqs []sim.Request, traceName string, decorate func(*Progress), shardWorkers int) (Result, error) {
+	res := Result{Result: sim.Result{Name: net.Name()}, Trace: traceName}
+	if e.validate {
+		if err := sim.Validate(reqs, net.N()); err != nil {
+			return res, err
+		}
+	}
+
+	var churner ChurnReporter
+	var churnTree *core.Tree
+	var churnBase int64
+	if e.churn {
+		switch n := net.(type) {
+		case ChurnReporter:
+			churner = n
+			churnBase = n.LinkChurn()
+		case treeHolder:
+			churnTree = n.Tree()
+			churnTree.SetTrackEdges(true)
+			churnBase = churnTree.EdgeChanges()
+		}
+	}
+
+	emit := func(p Progress) {
+		if e.progress == nil {
+			return
+		}
+		p.Network = res.Name
+		p.Trace = traceName
+		p.Total = len(reqs)
+		if decorate != nil {
+			decorate(&p)
+		}
+		e.mu.Lock()
+		e.progress(p)
+		e.mu.Unlock()
+	}
+
+	start := time.Now()
+	warm := e.warmup
+	if warm > len(reqs) {
+		warm = len(reqs)
+	}
+	var hist []int64
+	var err error
+	if bs, ok := net.(sim.BatchServer); ok {
+		hist, err = e.runBatch(ctx, bs, reqs, warm, &res, emit, shardWorkers)
+	} else {
+		hist, err = e.runSequential(ctx, net, reqs, warm, &res, emit)
+	}
+	res.Elapsed = time.Since(start)
+	if secs := res.Elapsed.Seconds(); secs > 0 {
+		res.Throughput = float64(res.Requests+res.WarmupRequests) / secs
+	}
+	if e.churn {
+		if churner != nil {
+			res.LinkChurn = churner.LinkChurn() - churnBase
+		} else if churnTree != nil {
+			res.LinkChurn = churnTree.EdgeChanges() - churnBase
+		}
+	}
+	res.P50Routing = percentile(hist, res.Requests, 0.50)
+	res.P99Routing = percentile(hist, res.Requests, 0.99)
+	return res, err
+}
+
+// runSequential serves requests one by one, in order, on a single
+// goroutine: the only sound schedule for self-adjusting networks, whose
+// topology after request t is the input to request t+1. Cancellation is
+// checked at window boundaries and every checkEvery requests.
+func (e *Engine) runSequential(ctx context.Context, net sim.Network, reqs []sim.Request, warm int, res *Result, emit func(Progress)) ([]int64, error) {
+	const checkEvery = 2048
+	var hist []int64
+	wStart := 0
+	var wRouting, wAdjust int64
+	flush := func(end int) {
+		if e.window <= 0 || end == wStart {
+			return
+		}
+		res.Series = append(res.Series, WindowSample{Start: wStart, End: end, Routing: wRouting, Adjust: wAdjust})
+		emit(Progress{Requests: warm + end})
+		wStart = end
+		wRouting, wAdjust = 0, 0
+	}
+	for i, rq := range reqs {
+		if i%checkEvery == 0 && ctx.Err() != nil {
+			if m := i - warm; m > 0 {
+				flush(m)
+			}
+			return hist, ctx.Err()
+		}
+		c := net.Serve(rq.Src, rq.Dst)
+		if i < warm {
+			res.WarmupRequests++
+			res.WarmupRouting += c.Routing
+			res.WarmupAdjust += c.Adjust
+			continue
+		}
+		res.Requests++
+		res.Routing += c.Routing
+		res.Adjust += c.Adjust
+		hist = sim.ObserveHist(hist, c.Routing)
+		if e.window > 0 {
+			wRouting += c.Routing
+			wAdjust += c.Adjust
+			if m := i - warm + 1; m-wStart == e.window {
+				flush(m)
+			}
+		}
+	}
+	flush(len(reqs) - warm)
+	return hist, nil
+}
+
+// runBatch evaluates a batch-capable (static) network: the warmup prefix
+// and then the measured region, the latter cut into chunks — window-sized
+// when a time-series is requested, load-balancing-sized otherwise — that
+// the worker pool serves concurrently and merges back in order.
+func (e *Engine) runBatch(ctx context.Context, bs sim.BatchServer, reqs []sim.Request, warm int, res *Result, emit func(Progress), shardWorkers int) ([]int64, error) {
+	if warm > 0 {
+		bc := bs.ServeBatch(reqs[:warm])
+		res.WarmupRequests = int64(warm)
+		res.WarmupRouting = bc.Routing
+		res.WarmupAdjust = bc.Adjust
+	}
+	measured := reqs[warm:]
+	if len(measured) == 0 {
+		return nil, ctx.Err()
+	}
+	if shardWorkers < 1 {
+		shardWorkers = 1
+	}
+	chunk := e.window
+	if chunk <= 0 {
+		chunk = (len(measured) + shardWorkers*4 - 1) / (shardWorkers * 4)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	nchunks := (len(measured) + chunk - 1) / chunk
+	costs := make([]sim.BatchCost, nchunks)
+	done := make([]bool, nchunks)
+	perr := ParallelFor(ctx, shardWorkers, nchunks, func(i int) error {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > len(measured) {
+			hi = len(measured)
+		}
+		costs[i] = bs.ServeBatch(measured[lo:hi])
+		done[i] = true
+		return nil
+	})
+	// Merge the completed prefix in order, so a cancelled run still
+	// reports a contiguous, well-ordered partial result.
+	var total sim.BatchCost
+	for i := 0; i < nchunks && done[i]; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > len(measured) {
+			hi = len(measured)
+		}
+		res.Requests += int64(hi - lo)
+		if e.window > 0 {
+			res.Series = append(res.Series, WindowSample{Start: lo, End: hi, Routing: costs[i].Routing, Adjust: costs[i].Adjust})
+		}
+		total.Merge(costs[i])
+		emit(Progress{Requests: warm + hi})
+	}
+	res.Routing = total.Routing
+	res.Adjust = total.Adjust
+	return total.Hist, perr
+}

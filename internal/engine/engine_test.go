@@ -1,0 +1,377 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"github.com/ksan-net/ksan/internal/karynet"
+	"github.com/ksan-net/ksan/internal/sim"
+	"github.com/ksan-net/ksan/internal/statictree"
+	"github.com/ksan-net/ksan/internal/workload"
+)
+
+// fakeNet is a deterministic sequential Network: request (u,v) costs u+v
+// routing and v adjustment.
+type fakeNet struct {
+	n      int
+	name   string
+	served int64
+}
+
+func (f *fakeNet) Name() string { return f.name }
+func (f *fakeNet) N() int       { return f.n }
+func (f *fakeNet) Serve(u, v int) sim.Cost {
+	f.served++
+	return sim.Cost{Routing: int64(u + v), Adjust: int64(v)}
+}
+
+func reqs(n, m int, seed int64) []sim.Request {
+	return workload.Uniform(n, m, seed).Reqs
+}
+
+func TestRunMatchesSeedLoop(t *testing.T) {
+	rs := reqs(32, 5000, 1)
+	eng := New()
+	got, err := eng.Run(context.Background(), &fakeNet{n: 32, name: "fake"}, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sim.Run(&fakeNet{n: 32, name: "fake"}, rs)
+	if got.Result != want {
+		t.Fatalf("engine result %+v != seed loop %+v", got.Result, want)
+	}
+	if got.Throughput <= 0 || got.Elapsed <= 0 {
+		t.Errorf("throughput/elapsed not populated: %+v", got)
+	}
+}
+
+func TestGridDeterministicAcrossWorkers(t *testing.T) {
+	tr := workload.Temporal(48, 8000, 0.6, 2)
+	nets := []NetworkSpec{}
+	for _, k := range []int{2, 3, 5} {
+		k := k
+		nets = append(nets, NetworkSpec{
+			Name: "kary",
+			Make: func(n int) sim.Network { return karynet.MustNew(n, k) },
+		})
+	}
+	traces := []TraceSpec{
+		{Name: tr.Name, N: tr.N, Reqs: tr.Reqs},
+		{Name: "uniform", N: 48, Reqs: reqs(48, 6000, 7)},
+	}
+	run := func(workers int) [][]Result {
+		grid, err := New(WithWorkers(workers), WithWindow(1000)).RunGrid(context.Background(), nets, traces)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range grid {
+			for j := range grid[i] {
+				grid[i][j] = grid[i][j].Stripped()
+			}
+		}
+		return grid
+	}
+	seq := run(1)
+	par := run(8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("grid results differ between 1 and 8 workers:\n%+v\nvs\n%+v", seq, par)
+	}
+	if seq[0][0].Routing <= 0 || seq[0][0].Requests != 8000 {
+		t.Errorf("implausible cell %+v", seq[0][0])
+	}
+}
+
+// cancelNet cancels its context from inside Serve at a fixed request
+// index, making mid-trace cancellation deterministic.
+type cancelNet struct {
+	fakeNet
+	at     int64
+	cancel context.CancelFunc
+}
+
+func (c *cancelNet) Serve(u, v int) sim.Cost {
+	cost := c.fakeNet.Serve(u, v)
+	if c.served == c.at {
+		c.cancel()
+	}
+	return cost
+}
+
+func TestRunCancellationMidTrace(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	net := &cancelNet{fakeNet: fakeNet{n: 16, name: "cancel"}, at: 30_000, cancel: cancel}
+	rs := reqs(16, 100_000, 3)
+	res, err := New().Run(ctx, net, rs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res.Requests < 30_000 || res.Requests >= int64(len(rs)) {
+		t.Errorf("partial result should cover a strict prefix past the cancel point, served %d of %d",
+			res.Requests, len(rs))
+	}
+}
+
+func TestCancellationDuringWarmupEmitsNoWindow(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	net := &cancelNet{fakeNet: fakeNet{n: 16, name: "warmcancel"}, at: 2_000, cancel: cancel}
+	rs := reqs(16, 50_000, 4)
+	res, err := New(WithWarmup(10_000), WithWindow(1_000)).Run(ctx, net, rs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if len(res.Series) != 0 {
+		t.Fatalf("cancellation inside the warmup prefix must not emit windows, got %+v", res.Series)
+	}
+	for _, s := range res.Series {
+		if s.End <= s.Start {
+			t.Errorf("corrupt window %+v", s)
+		}
+	}
+}
+
+func TestGridCancellationPropagates(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	nets := []NetworkSpec{{Make: func(n int) sim.Network { return &fakeNet{n: n, name: "x"} }}}
+	traces := []TraceSpec{{N: 8, Reqs: reqs(8, 100, 1)}}
+	_, err := New().RunGrid(ctx, nets, traces)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestWarmupAccounting(t *testing.T) {
+	rs := reqs(16, 1000, 5)
+	eng := New(WithWarmup(300))
+	got, err := eng.Run(context.Background(), &fakeNet{n: 16, name: "warm"}, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.WarmupRequests != 300 || got.Requests != 700 {
+		t.Fatalf("warmup split %d/%d, want 300/700", got.WarmupRequests, got.Requests)
+	}
+	all := sim.Run(&fakeNet{n: 16, name: "warm"}, rs)
+	if got.Routing+got.WarmupRouting != all.Routing || got.Adjust+got.WarmupAdjust != all.Adjust {
+		t.Errorf("warmup+measured != total: %+v vs %+v", got, all)
+	}
+	head := sim.Run(&fakeNet{n: 16, name: "warm"}, rs[:300])
+	if got.WarmupRouting != head.Routing || got.WarmupAdjust != head.Adjust {
+		t.Errorf("warmup window misaccounted: %+v vs %+v", got, head)
+	}
+	// Warmup longer than the trace measures nothing.
+	over, err := New(WithWarmup(5000)).Run(context.Background(), &fakeNet{n: 16, name: "warm"}, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Requests != 0 || over.WarmupRequests != 1000 {
+		t.Errorf("oversized warmup split %d/%d", over.WarmupRequests, over.Requests)
+	}
+}
+
+func TestWindowSeries(t *testing.T) {
+	rs := reqs(16, 2500, 6)
+	got, err := New(WithWarmup(500), WithWindow(1000)).Run(context.Background(), &fakeNet{n: 16, name: "series"}, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Series) != 2 {
+		t.Fatalf("want 2 windows (1000+1000), got %d: %+v", len(got.Series), got.Series)
+	}
+	var routing, adjust int64
+	prevEnd := 0
+	for _, s := range got.Series {
+		if s.Start != prevEnd || s.End <= s.Start {
+			t.Errorf("window %+v not contiguous after %d", s, prevEnd)
+		}
+		prevEnd = s.End
+		routing += s.Routing
+		adjust += s.Adjust
+	}
+	if prevEnd != 2000 || routing != got.Routing || adjust != got.Adjust {
+		t.Errorf("series does not tile the measured region: end %d, %d/%d vs %d/%d",
+			prevEnd, routing, adjust, got.Routing, got.Adjust)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	// 98 requests costing 1 and two costing 50: the 50th-smallest cost is
+	// 1 and the 99th-smallest is 50.
+	net := &scriptNet{costs: make([]int64, 100)}
+	for i := range net.costs {
+		net.costs[i] = 1
+	}
+	net.costs[42] = 50
+	net.costs[77] = 50
+	rs := make([]sim.Request, 100)
+	for i := range rs {
+		rs[i] = sim.Request{Src: 1, Dst: 2}
+	}
+	got, err := New().Run(context.Background(), net, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.P50Routing != 1 || got.P99Routing != 50 {
+		t.Errorf("p50=%v p99=%v, want 1 and 50", got.P50Routing, got.P99Routing)
+	}
+}
+
+type scriptNet struct {
+	costs []int64
+	i     int
+}
+
+func (s *scriptNet) Name() string { return "script" }
+func (s *scriptNet) N() int       { return 4 }
+func (s *scriptNet) Serve(u, v int) sim.Cost {
+	c := s.costs[s.i]
+	s.i++
+	return sim.Cost{Routing: c}
+}
+
+func TestValidationRejectsBadTrace(t *testing.T) {
+	bad := []sim.Request{{Src: 1, Dst: 99}}
+	if _, err := New().Run(context.Background(), &fakeNet{n: 4, name: "v"}, bad); err == nil {
+		t.Fatal("out-of-range endpoint accepted")
+	}
+	if _, err := New(WithValidation(false)).Run(context.Background(), &fakeNet{n: 4, name: "v"}, bad); err != nil {
+		t.Fatalf("validation off must not reject: %v", err)
+	}
+}
+
+func TestBatchMatchesSequential(t *testing.T) {
+	full, err := statictree.Full(200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := reqs(200, 40_000, 8)
+	batch, err := New(WithWorkers(8), WithWindow(5000)).Run(context.Background(), statictree.NewNet("full", full), rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: the per-request Serve path on a plain (non-batch) wrapper.
+	seq, err := New().Run(context.Background(), &serveOnly{net: statictree.NewNet("full", full)}, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Result != seq.Result {
+		t.Fatalf("batch totals %+v != sequential %+v", batch.Result, seq.Result)
+	}
+	if batch.P50Routing != seq.P50Routing || batch.P99Routing != seq.P99Routing {
+		t.Errorf("percentiles differ: batch %v/%v seq %v/%v",
+			batch.P50Routing, batch.P99Routing, seq.P50Routing, seq.P99Routing)
+	}
+	var fromSeries int64
+	for _, s := range batch.Series {
+		fromSeries += s.Routing
+	}
+	if fromSeries != batch.Routing {
+		t.Errorf("batch series sums to %d, total %d", fromSeries, batch.Routing)
+	}
+}
+
+// serveOnly hides a static net's ServeBatch (no embedding, so nothing is
+// promoted) to force the engine onto the sequential path.
+type serveOnly struct{ net *statictree.Net }
+
+func (s *serveOnly) Name() string            { return s.net.Name() }
+func (s *serveOnly) N() int                  { return s.net.N() }
+func (s *serveOnly) Serve(u, v int) sim.Cost { return s.net.Serve(u, v) }
+
+func TestLinkChurnReporting(t *testing.T) {
+	tr := workload.Temporal(32, 3000, 0.5, 9)
+	res, err := New(WithLinkChurn(true)).Run(context.Background(), karynet.MustNew(32, 3), tr.Reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Adjust > 0 && res.LinkChurn <= res.Adjust {
+		t.Errorf("churn %d should exceed rotations %d (each rotation rewires several links)",
+			res.LinkChurn, res.Adjust)
+	}
+	// Without the option the field stays zero.
+	off, err := New().Run(context.Background(), karynet.MustNew(32, 3), tr.Reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.LinkChurn != 0 {
+		t.Errorf("churn tracked despite option off: %d", off.LinkChurn)
+	}
+}
+
+func TestProgressEvents(t *testing.T) {
+	var events []Progress
+	eng := New(WithWindow(500), WithProgress(func(p Progress) { events = append(events, p) }), WithWorkers(2))
+	nets := []NetworkSpec{{Name: "fake", Make: func(n int) sim.Network { return &fakeNet{n: n, name: "fake"} }}}
+	traces := []TraceSpec{{Name: "t", N: 16, Reqs: reqs(16, 2000, 4)}}
+	if _, err := eng.RunGrid(context.Background(), nets, traces); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events")
+	}
+	last := events[len(events)-1]
+	if last.Cells != 1 || last.CellsTotal != 1 || last.Requests != 2000 {
+		t.Errorf("final event %+v", last)
+	}
+}
+
+func TestParallelFor(t *testing.T) {
+	var sum atomic.Int64
+	if err := ParallelFor(context.Background(), 8, 1000, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.Load(); got != 499_500 {
+		t.Errorf("sum %d, every index must run exactly once", got)
+	}
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	err := ParallelFor(context.Background(), 4, 100_000, func(i int) error {
+		ran.Add(1)
+		if i == 10 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if ran.Load() == 100_000 {
+		t.Error("error did not stop dispatch early")
+	}
+}
+
+// TestWorkerPoolRace exercises the grid worker pool with shared result
+// slices under -race (CI runs go test -race ./...).
+func TestWorkerPoolRace(t *testing.T) {
+	full, err := statictree.Full(64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets := []NetworkSpec{
+		{Name: "static", Make: func(n int) sim.Network { return statictree.NewNet("full", full) }},
+		{Name: "fake", Make: func(n int) sim.Network { return &fakeNet{n: n, name: "fake"} }},
+	}
+	var traces []TraceSpec
+	for s := int64(0); s < 8; s++ {
+		traces = append(traces, TraceSpec{Name: "u", N: 64, Reqs: reqs(64, 3000, s)})
+	}
+	eng := New(WithWorkers(8), WithWindow(700), WithProgress(func(Progress) {}))
+	grid, err := eng.RunGrid(context.Background(), nets, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range grid {
+		for j := range grid[i] {
+			if grid[i][j].Requests != 3000 {
+				t.Fatalf("cell (%d,%d) served %d", i, j, grid[i][j].Requests)
+			}
+		}
+	}
+}

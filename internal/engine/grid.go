@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/ksan-net/ksan/internal/sim"
+)
+
+// NetworkSpec declares one network design of a grid. Make constructs a
+// fresh instance sized for n nodes; every grid cell gets its own instance,
+// so network state never needs synchronization. Name labels rows in
+// progress events (the constructed network's own Name labels results).
+type NetworkSpec struct {
+	Name string
+	Make func(n int) sim.Network
+}
+
+// TraceSpec declares one trace of a grid: a request sequence over nodes
+// 1..N. N sizes the networks built for this trace's cells.
+type TraceSpec struct {
+	Name string
+	N    int
+	Reqs []sim.Request
+}
+
+// RunGrid evaluates the full cross product of networks × traces on the
+// engine's bounded worker pool and returns results indexed as
+// out[network][trace]. Output is deterministic: cell (i,j) always holds
+// the result of serving traces[j] on a fresh networks[i] instance,
+// regardless of worker count or scheduling. On cancellation the first
+// error is returned along with the grid; cells that never ran hold zero
+// Results.
+func (e *Engine) RunGrid(ctx context.Context, networks []NetworkSpec, traces []TraceSpec) ([][]Result, error) {
+	out := make([][]Result, len(networks))
+	for i := range out {
+		out[i] = make([]Result, len(traces))
+	}
+	cells := len(networks) * len(traces)
+	if cells == 0 {
+		return out, nil
+	}
+	var cellsDone atomic.Int64
+	perr := ParallelFor(ctx, e.workers, cells, func(c int) error {
+		i, j := c/len(traces), c%len(traces)
+		spec, tr := networks[i], traces[j]
+		net := spec.Make(tr.N)
+		if net == nil {
+			return fmt.Errorf("engine: network %q returned nil for n=%d", spec.Name, tr.N)
+		}
+		res, err := e.runOne(ctx, net, tr.Reqs, tr.Name, func(p *Progress) {
+			p.Cells = int(cellsDone.Load())
+			p.CellsTotal = cells
+		}, 1)
+		out[i][j] = res
+		if err != nil {
+			return err
+		}
+		n := cellsDone.Add(1)
+		if e.progress != nil {
+			e.mu.Lock()
+			e.progress(Progress{
+				Network: res.Name, Trace: tr.Name,
+				Requests: len(tr.Reqs), Total: len(tr.Reqs),
+				Cells: int(n), CellsTotal: cells,
+			})
+			e.mu.Unlock()
+		}
+		return nil
+	})
+	return out, perr
+}
+
+// ParallelFor runs body(i) for every i in [0,n) on up to workers
+// goroutines (GOMAXPROCS when workers < 1), pulling indices from a shared
+// counter. It stops dispatching new indices once ctx is cancelled or a
+// body returns an error, waits for in-flight bodies, and returns the first
+// error (or ctx.Err()). Bodies run at most once per index.
+func ParallelFor(ctx context.Context, workers, n int, body func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var stopped atomic.Bool
+	var errMu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stopped.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if err := body(i); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					stopped.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"math"
+	"time"
+
+	"github.com/ksan-net/ksan/internal/sim"
+)
+
+// WindowSample is one point of a run's cost time-series: the aggregate cost
+// of the measurement-window requests with (0-based) indices [Start, End)
+// counted from the end of the warmup prefix. Feeding these into a plot
+// shows how routing cost converges as a self-adjusting network learns the
+// workload.
+type WindowSample struct {
+	Start   int
+	End     int
+	Routing int64
+	Adjust  int64
+}
+
+// Result extends the seed sim.Result with the observability surface of the
+// streaming engine. The embedded sim.Result covers the measurement region
+// only (everything after the warmup prefix), so with zero warmup it is
+// bit-identical to what the seed loop produced.
+type Result struct {
+	sim.Result
+
+	// Trace labels the trace this run served (grid runs; empty otherwise).
+	Trace string
+
+	// Warmup accounting: requests served before measurement began and the
+	// cost they incurred (excluded from the embedded sim.Result).
+	WarmupRequests int64
+	WarmupRouting  int64
+	WarmupAdjust   int64
+
+	// P50Routing and P99Routing are per-request routing-cost percentiles
+	// over the measurement region.
+	P50Routing float64
+	P99Routing float64
+
+	// LinkChurn is the number of physical links added plus removed during
+	// the run, when churn tracking is enabled and the network exposes it
+	// (zero otherwise).
+	LinkChurn int64
+
+	// Series is the per-window cost time-series (nil unless a sample
+	// window was configured).
+	Series []WindowSample
+
+	// Elapsed and Throughput report wall-clock performance: total run time
+	// and requests served per second (warmup included). They are the only
+	// nondeterministic fields.
+	Elapsed    time.Duration
+	Throughput float64
+}
+
+// Stripped returns the result with its nondeterministic wall-clock fields
+// zeroed, leaving only fields that are reproducible across runs and worker
+// counts. Determinism tests compare Stripped values.
+func (r Result) Stripped() Result {
+	r.Elapsed = 0
+	r.Throughput = 0
+	return r
+}
+
+// Progress is a progress-callback event. For single runs, Requests/Total
+// advance within the trace as window samples complete; for grid runs,
+// Cells/CellsTotal additionally advance as grid cells finish.
+type Progress struct {
+	Network    string
+	Trace      string
+	Requests   int
+	Total      int
+	Cells      int
+	CellsTotal int
+}
+
+// percentile returns the smallest routing cost c such that at least
+// ceil(q·total) of the measured requests cost at most c.
+func percentile(hist []int64, total int64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for c, n := range hist {
+		cum += n
+		if cum >= rank {
+			return float64(c)
+		}
+	}
+	return float64(len(hist) - 1)
+}

@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/ksan-net/ksan/internal/core"
+	"github.com/ksan-net/ksan/internal/engine"
 	"github.com/ksan-net/ksan/internal/karynet"
 	"github.com/ksan-net/ksan/internal/report"
-	"github.com/ksan-net/ksan/internal/sim"
 	"github.com/ksan-net/ksan/internal/workload"
 )
 
@@ -15,6 +16,17 @@ import (
 // definition (links added/removed): for each k it reports routing cost,
 // rotation count and actual edge churn of k-ary SplayNet on a trace.
 func AblationCostAccounting(tr workload.Trace, ks []int) report.Table {
+	t, err := AblationCostAccountingCtx(context.Background(), engine.New(), tr, ks)
+	if err != nil {
+		// The historical signature has no error path; fail as loudly as the
+		// seed code did.
+		panic(err)
+	}
+	return t
+}
+
+// AblationCostAccountingCtx is AblationCostAccounting with cancellation.
+func AblationCostAccountingCtx(ctx context.Context, eng *engine.Engine, tr workload.Trace, ks []int) (report.Table, error) {
 	t := report.Table{
 		Title:  fmt.Sprintf("Ablation A1: rotation count vs link churn (%s, n=%d, m=%d)", tr.Name, tr.N, tr.Len()),
 		Header: []string{"k", "routing", "rotations", "links changed", "links/rotation"},
@@ -22,7 +34,10 @@ func AblationCostAccounting(tr workload.Trace, ks []int) report.Table {
 	for _, k := range ks {
 		net := karynet.MustNew(tr.N, k)
 		net.Tree().SetTrackEdges(true)
-		res := sim.Run(net, tr.Reqs)
+		res, err := eng.Run(ctx, net, tr.Reqs)
+		if err != nil {
+			return t, err
+		}
 		churn := net.Tree().EdgeChanges()
 		perRot := "-"
 		if res.Adjust > 0 {
@@ -31,67 +46,115 @@ func AblationCostAccounting(tr workload.Trace, ks []int) report.Table {
 		t.AddRow(fmt.Sprintf("%d", k), report.Count(res.Routing), report.Count(res.Adjust),
 			report.Count(churn), perRot)
 	}
-	return t
+	return t, nil
 }
 
 // AblationSemiSplayOnly (A2) measures the value of the double k-splay step:
 // it compares the full rotation repertoire against k-semi-splay-only
 // self-adjustment.
 func AblationSemiSplayOnly(tr workload.Trace, ks []int) report.Table {
+	t, err := AblationSemiSplayOnlyCtx(context.Background(), engine.New(), tr, ks)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// AblationSemiSplayOnlyCtx is AblationSemiSplayOnly with cancellation.
+func AblationSemiSplayOnlyCtx(ctx context.Context, eng *engine.Engine, tr workload.Trace, ks []int) (report.Table, error) {
 	t := report.Table{
 		Title:  fmt.Sprintf("Ablation A2: full k-splay vs k-semi-splay only (%s, total cost)", tr.Name),
 		Header: []string{"k", "k-splay total", "semi-only total", "semi/full"},
 	}
 	for _, k := range ks {
-		full := sim.Run(karynet.MustNew(tr.N, k), tr.Reqs)
+		full, err := eng.Run(ctx, karynet.MustNew(tr.N, k), tr.Reqs)
+		if err != nil {
+			return t, err
+		}
 		semi := karynet.MustNew(tr.N, k)
 		semi.SetSemiSplayOnly(true)
-		s := sim.Run(semi, tr.Reqs)
+		s, err := eng.Run(ctx, semi, tr.Reqs)
+		if err != nil {
+			return t, err
+		}
 		t.AddRow(fmt.Sprintf("%d", k), report.Count(full.Total()), report.Count(s.Total()),
 			report.Ratio(s.Total(), full.Total()))
 	}
-	return t
+	return t, nil
 }
 
 // AblationBlockPolicy (A3) compares the id-centered block placement of the
 // rebuild against the leftmost feasible placement.
 func AblationBlockPolicy(tr workload.Trace, ks []int) report.Table {
+	t, err := AblationBlockPolicyCtx(context.Background(), engine.New(), tr, ks)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// AblationBlockPolicyCtx is AblationBlockPolicy with cancellation.
+func AblationBlockPolicyCtx(ctx context.Context, eng *engine.Engine, tr workload.Trace, ks []int) (report.Table, error) {
 	t := report.Table{
 		Title:  fmt.Sprintf("Ablation A3: centered vs leftmost routing-element blocks (%s, total cost)", tr.Name),
 		Header: []string{"k", "centered", "leftmost", "leftmost/centered"},
 	}
 	for _, k := range ks {
-		centered := sim.Run(karynet.MustNew(tr.N, k), tr.Reqs)
+		centered, err := eng.Run(ctx, karynet.MustNew(tr.N, k), tr.Reqs)
+		if err != nil {
+			return t, err
+		}
 		left := karynet.MustNew(tr.N, k)
 		left.Tree().SetBlockPolicy(core.BlockLeftmost)
-		l := sim.Run(left, tr.Reqs)
+		l, err := eng.Run(ctx, left, tr.Reqs)
+		if err != nil {
+			return t, err
+		}
 		t.AddRow(fmt.Sprintf("%d", k), report.Count(centered.Total()), report.Count(l.Total()),
 			report.Ratio(l.Total(), centered.Total()))
 	}
-	return t
+	return t, nil
 }
 
 // AblationInitialTopology (A4) measures how much the initial network
 // matters to k-ary SplayNet: balanced vs path vs random starts (the model
 // allows an arbitrary G0; self-adjustment should largely erase it).
 func AblationInitialTopology(tr workload.Trace, k int) report.Table {
+	t, err := AblationInitialTopologyCtx(context.Background(), engine.New(), tr, k)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// AblationInitialTopologyCtx is AblationInitialTopology with cancellation.
+func AblationInitialTopologyCtx(ctx context.Context, eng *engine.Engine, tr workload.Trace, k int) (report.Table, error) {
 	t := report.Table{
 		Title:  fmt.Sprintf("Ablation A4: initial topology sensitivity (%s, k=%d, total cost)", tr.Name, k),
 		Header: []string{"initial", "total cost", "vs balanced"},
 	}
-	balanced := sim.Run(karynet.MustNew(tr.N, k), tr.Reqs)
+	balanced, err := eng.Run(ctx, karynet.MustNew(tr.N, k), tr.Reqs)
+	if err != nil {
+		return t, err
+	}
 	t.AddRow("balanced", report.Count(balanced.Total()), "1.00x")
 	path, err := core.NewPath(tr.N, k)
 	if err != nil {
-		panic(err)
+		return t, err
 	}
-	p := sim.Run(karynet.NewFromTree(path), tr.Reqs)
+	p, err := eng.Run(ctx, karynet.NewFromTree(path), tr.Reqs)
+	if err != nil {
+		return t, err
+	}
 	t.AddRow("path", report.Count(p.Total()), report.Ratio(p.Total(), balanced.Total()))
 	rnd, err := core.NewRandom(tr.N, k, 99)
 	if err != nil {
-		panic(err)
+		return t, err
 	}
-	r := sim.Run(karynet.NewFromTree(rnd), tr.Reqs)
+	r, err := eng.Run(ctx, karynet.NewFromTree(rnd), tr.Reqs)
+	if err != nil {
+		return t, err
+	}
 	t.AddRow("random", report.Count(r.Total()), report.Ratio(r.Total(), balanced.Total()))
-	return t
+	return t, nil
 }

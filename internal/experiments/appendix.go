@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"github.com/ksan-net/ksan/internal/engine"
 	"github.com/ksan-net/ksan/internal/karynet"
 	"github.com/ksan-net/ksan/internal/report"
 	"github.com/ksan-net/ksan/internal/sim"
@@ -17,6 +19,19 @@ import (
 // reports centroid/optimal total-distance ratios (1.00x = optimal) and the
 // full tree's ratio for contrast.
 func CentroidOptimality(ns []int, ks []int) (report.Table, bool) {
+	t, all, err := CentroidOptimalityCtx(context.Background(), 0, ns, ks)
+	if err != nil {
+		// The historical signature has no error path; fail as loudly as the
+		// seed code did.
+		panic(err)
+	}
+	return t, all
+}
+
+// CentroidOptimalityCtx is CentroidOptimality with cancellation and an
+// explicit worker bound (0 = GOMAXPROCS): the (n,k) cells are independent
+// DP solves, so they shard across the pool.
+func CentroidOptimalityCtx(ctx context.Context, workers int, ns []int, ks []int) (report.Table, bool, error) {
 	t := report.Table{
 		Title:  "Remark 10: centroid tree vs uniform-workload optimum (total distance ratios)",
 		Header: []string{"n"},
@@ -24,32 +39,50 @@ func CentroidOptimality(ns []int, ks []int) (report.Table, bool) {
 	for _, k := range ks {
 		t.Header = append(t.Header, fmt.Sprintf("centroid k=%d", k), fmt.Sprintf("full k=%d", k))
 	}
+	type cell struct {
+		cenRatio, fullRatio string
+		optimal             bool
+	}
+	cells := make([]cell, len(ns)*len(ks))
+	err := engine.ParallelFor(ctx, workers, len(cells), func(i int) error {
+		n, k := ns[i/len(ks)], ks[i%len(ks)]
+		_, opt, err := statictree.OptimalUniform(n, k)
+		if err != nil {
+			return err
+		}
+		cen, err := statictree.Centroid(n, k)
+		if err != nil {
+			return err
+		}
+		full, err := statictree.Full(n, k)
+		if err != nil {
+			return err
+		}
+		cd := statictree.TotalDistanceUniform(cen)
+		fd := statictree.TotalDistanceUniform(full)
+		cells[i] = cell{
+			cenRatio:  report.Ratio(cd, opt),
+			fullRatio: report.Ratio(fd, opt),
+			optimal:   cd == opt,
+		}
+		return nil
+	})
+	if err != nil {
+		return t, false, err
+	}
 	allOptimal := true
-	for _, n := range ns {
+	for i, n := range ns {
 		row := []string{fmt.Sprintf("%d", n)}
-		for _, k := range ks {
-			_, opt, err := statictree.OptimalUniform(n, k)
-			if err != nil {
-				panic(err)
-			}
-			cen, err := statictree.Centroid(n, k)
-			if err != nil {
-				panic(err)
-			}
-			full, err := statictree.Full(n, k)
-			if err != nil {
-				panic(err)
-			}
-			cd := statictree.TotalDistanceUniform(cen)
-			fd := statictree.TotalDistanceUniform(full)
-			if cd != opt {
+		for j := range ks {
+			c := cells[i*len(ks)+j]
+			row = append(row, c.cenRatio, c.fullRatio)
+			if !c.optimal {
 				allOptimal = false
 			}
-			row = append(row, report.Ratio(cd, opt), report.Ratio(fd, opt))
 		}
 		t.AddRow(row...)
 	}
-	return t, allOptimal
+	return t, allOptimal, nil
 }
 
 // Lemma9Scaling reproduces the asymptotic claim of Lemma 9/36: the total
@@ -57,6 +90,17 @@ func CentroidOptimality(ns []int, ks []int) (report.Table, bool) {
 // n²·log_k n + O(n²). The table reports total distance divided by
 // n²·log_k n, which must approach 1 from either side as n grows.
 func Lemma9Scaling(ns []int, ks []int) report.Table {
+	t, err := Lemma9ScalingCtx(context.Background(), 0, ns, ks)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Lemma9ScalingCtx is Lemma9Scaling with cancellation and an explicit
+// worker bound; the per-(n,k) total-distance evaluations shard across the
+// pool.
+func Lemma9ScalingCtx(ctx context.Context, workers int, ns []int, ks []int) (report.Table, error) {
 	t := report.Table{
 		Title:  "Lemma 9: total distance / (n² log_k n) for full and centroid trees",
 		Header: []string{"n"},
@@ -64,25 +108,36 @@ func Lemma9Scaling(ns []int, ks []int) report.Table {
 	for _, k := range ks {
 		t.Header = append(t.Header, fmt.Sprintf("full k=%d", k), fmt.Sprintf("centroid k=%d", k))
 	}
-	for _, n := range ns {
+	type cell struct{ full, cen string }
+	cells := make([]cell, len(ns)*len(ks))
+	err := engine.ParallelFor(ctx, workers, len(cells), func(i int) error {
+		n, k := ns[i/len(ks)], ks[i%len(ks)]
+		norm := float64(n) * float64(n) * math.Log(float64(n)) / math.Log(float64(k))
+		full, err := statictree.Full(n, k)
+		if err != nil {
+			return err
+		}
+		cen, err := statictree.Centroid(n, k)
+		if err != nil {
+			return err
+		}
+		cells[i] = cell{
+			full: fmt.Sprintf("%.3f", float64(statictree.TotalDistanceUniform(full))/norm),
+			cen:  fmt.Sprintf("%.3f", float64(statictree.TotalDistanceUniform(cen))/norm),
+		}
+		return nil
+	})
+	if err != nil {
+		return t, err
+	}
+	for i, n := range ns {
 		row := []string{fmt.Sprintf("%d", n)}
-		for _, k := range ks {
-			norm := float64(n) * float64(n) * math.Log(float64(n)) / math.Log(float64(k))
-			full, err := statictree.Full(n, k)
-			if err != nil {
-				panic(err)
-			}
-			cen, err := statictree.Centroid(n, k)
-			if err != nil {
-				panic(err)
-			}
-			row = append(row,
-				fmt.Sprintf("%.3f", float64(statictree.TotalDistanceUniform(full))/norm),
-				fmt.Sprintf("%.3f", float64(statictree.TotalDistanceUniform(cen))/norm))
+		for j := range ks {
+			row = append(row, cells[i*len(ks)+j].full, cells[i*len(ks)+j].cen)
 		}
 		t.AddRow(row...)
 	}
-	return t
+	return t, nil
 }
 
 // EntropyBoundCheck relates measured k-ary SplayNet cost to the Theorem 13
@@ -90,21 +145,47 @@ func Lemma9Scaling(ns []int, ks []int) report.Table {
 // a modest constant across workloads if the implementation matches the
 // analysis (the bound is asymptotic, so the constant is not 1).
 func EntropyBoundCheck(w Workloads, k int) report.Table {
+	t, err := EntropyBoundCheckCtx(context.Background(), engine.New(), w, k)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// EntropyBoundCheckCtx is EntropyBoundCheck as a declarative grid: one
+// k-ary network row crossed with the seven workloads.
+func EntropyBoundCheckCtx(ctx context.Context, eng *engine.Engine, w Workloads, k int) (report.Table, error) {
 	t := report.Table{
 		Title:  fmt.Sprintf("Theorem 13 sanity: %d-ary SplayNet total cost vs entropy bound", k),
 		Header: []string{"workload", "measured total", "entropy bound", "ratio"},
 	}
-	add := func(name string, tr workload.Trace) {
-		r := sim.Run(karynet.MustNew(tr.N, k), tr.Reqs)
-		bound := workload.EntropyBound(tr)
-		t.AddRow(name, report.Count(r.Total()), fmt.Sprintf("%.0f", bound),
-			fmt.Sprintf("%.2f", float64(r.Total())/bound))
+	traces := []engine.TraceSpec{
+		namedSpec("uniform", w.Uniform),
+		namedSpec("hpc", w.HPC),
+		namedSpec("projector", w.Proj),
 	}
-	add("uniform", w.Uniform)
-	add("hpc", w.HPC)
-	add("projector", w.Proj)
+	bounds := []float64{
+		workload.EntropyBound(w.Uniform),
+		workload.EntropyBound(w.HPC),
+		workload.EntropyBound(w.Proj),
+	}
 	for _, p := range TemporalPs {
-		add(fmt.Sprintf("temporal-%.2f", p), w.Temporals[p])
+		tr := w.Temporals[p]
+		traces = append(traces, namedSpec(fmt.Sprintf("temporal-%.2f", p), tr))
+		bounds = append(bounds, workload.EntropyBound(tr))
 	}
-	return t
+	nets := []engine.NetworkSpec{{
+		Name: fmt.Sprintf("%d-ary SplayNet", k),
+		Make: func(n int) sim.Network { return karynet.MustNew(n, k) },
+	}}
+	grid, err := eng.RunGrid(ctx, nets, traces)
+	if err != nil {
+		return t, err
+	}
+	for j, tr := range traces {
+		total := grid[0][j].Total()
+		t.AddRow(tr.Name, report.Count(total), fmt.Sprintf("%.0f", bounds[j]),
+			fmt.Sprintf("%.2f", float64(total)/bounds[j]))
+	}
+	return t, nil
 }

@@ -1,10 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
+	"github.com/ksan-net/ksan/internal/engine"
 	"github.com/ksan-net/ksan/internal/karynet"
 	"github.com/ksan-net/ksan/internal/report"
 	"github.com/ksan-net/ksan/internal/sim"
@@ -25,6 +25,11 @@ type KAryTableResult struct {
 	OptDist  map[int]int64
 }
 
+// traceSpec adapts a workload trace to the engine's declarative grid input.
+func traceSpec(tr workload.Trace) engine.TraceSpec {
+	return engine.TraceSpec{Name: tr.Name, N: tr.N, Reqs: tr.Reqs}
+}
+
 // KAryTable reproduces the layout of Tables 1–7 on one trace:
 //
 //	row 1 — total routing cost of 2-ary SplayNet (absolute), then the
@@ -38,6 +43,19 @@ type KAryTableResult struct {
 // A supplementary row reports total (routing+rotation) cost ratios for
 // transparency about adjustment overhead.
 func KAryTable(title string, tr workload.Trace, sc Scale) KAryTableResult {
+	res, err := KAryTableCtx(context.Background(), engine.New(), title, tr, sc)
+	if err != nil {
+		// The historical signature has no error path; fail as loudly as the
+		// seed code did.
+		panic(err)
+	}
+	return res
+}
+
+// KAryTableCtx is KAryTable on an explicit engine: the k sweep is one
+// declarative grid (one k-ary network per column, one trace), and the
+// static-tree distances are computed on the same bounded pool.
+func KAryTableCtx(ctx context.Context, eng *engine.Engine, title string, tr workload.Trace, sc Scale) (KAryTableResult, error) {
 	res := KAryTableResult{
 		Routing:  map[int]int64{},
 		Total:    map[int]int64{},
@@ -46,39 +64,48 @@ func KAryTable(title string, tr workload.Trace, sc Scale) KAryTableResult {
 	}
 	d := workload.DemandFromTrace(tr)
 
-	var mu sync.Mutex
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for _, k := range sc.Ks {
-		wg.Add(1)
-		go func(k int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-
-			r := sim.Run(karynet.MustNew(tr.N, k), tr.Reqs)
-			full, err := statictree.Full(tr.N, k)
-			if err != nil {
-				panic(err)
-			}
-			fullDist := statictree.TotalDistance(full, d)
-			var optDist int64
-			if tr.N <= sc.OptMaxN {
-				_, cost, err := statictree.Optimal(d, k)
-				if err != nil {
-					panic(err)
-				}
-				optDist = cost
-			}
-			mu.Lock()
-			res.Routing[k] = r.Routing
-			res.Total[k] = r.Total()
-			res.FullDist[k] = fullDist
-			res.OptDist[k] = optDist
-			mu.Unlock()
-		}(k)
+	nets := make([]engine.NetworkSpec, len(sc.Ks))
+	for i, k := range sc.Ks {
+		k := k
+		nets[i] = engine.NetworkSpec{
+			Name: fmt.Sprintf("%d-ary SplayNet", k),
+			Make: func(n int) sim.Network { return karynet.MustNew(n, k) },
+		}
 	}
-	wg.Wait()
+	grid, err := eng.RunGrid(ctx, nets, []engine.TraceSpec{traceSpec(tr)})
+	if err != nil {
+		return res, err
+	}
+	for i, k := range sc.Ks {
+		res.Routing[k] = grid[i][0].Routing
+		res.Total[k] = grid[i][0].Total()
+	}
+
+	type static struct{ full, opt int64 }
+	statics := make([]static, len(sc.Ks))
+	err = engine.ParallelFor(ctx, eng.Workers(), len(sc.Ks), func(i int) error {
+		k := sc.Ks[i]
+		full, err := statictree.Full(tr.N, k)
+		if err != nil {
+			return err
+		}
+		statics[i].full = statictree.TotalDistance(full, d)
+		if tr.N <= sc.OptMaxN {
+			_, cost, err := statictree.Optimal(d, k)
+			if err != nil {
+				return err
+			}
+			statics[i].opt = cost
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, k := range sc.Ks {
+		res.FullDist[k] = statics[i].full
+		res.OptDist[k] = statics[i].opt
+	}
 
 	t := report.Table{
 		Title:  title,
@@ -111,22 +138,44 @@ func KAryTable(title string, tr workload.Trace, sc Scale) KAryTableResult {
 	t.AddRow(row3...)
 	t.AddRow(row4...)
 	res.Table = t
-	return res
+	return res, nil
 }
 
 // Tables1Through7 runs the whole k-ary sweep suite: the three trace-like
 // workloads and the four temporal workloads.
 func Tables1Through7(w Workloads, sc Scale) []KAryTableResult {
-	out := []KAryTableResult{
-		KAryTable(fmt.Sprintf("Table 1: k-ary SplayNet on HPC workload (n=%d, m=%d)", w.HPC.N, w.HPC.Len()), w.HPC, sc),
-		KAryTable(fmt.Sprintf("Table 2: k-ary SplayNet on ProjecToR workload (n=%d, m=%d)", w.Proj.N, w.Proj.Len()), w.Proj, sc),
-		KAryTable(fmt.Sprintf("Table 3: k-ary SplayNet on Facebook workload (n=%d, m=%d)", w.FB.N, w.FB.Len()), w.FB, sc),
+	out, err := Tables1Through7Ctx(context.Background(), engine.New(), w, sc)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Tables1Through7Ctx is Tables1Through7 on an explicit engine and context.
+func Tables1Through7Ctx(ctx context.Context, eng *engine.Engine, w Workloads, sc Scale) ([]KAryTableResult, error) {
+	type spec struct {
+		title string
+		tr    workload.Trace
+	}
+	specs := []spec{
+		{fmt.Sprintf("Table 1: k-ary SplayNet on HPC workload (n=%d, m=%d)", w.HPC.N, w.HPC.Len()), w.HPC},
+		{fmt.Sprintf("Table 2: k-ary SplayNet on ProjecToR workload (n=%d, m=%d)", w.Proj.N, w.Proj.Len()), w.Proj},
+		{fmt.Sprintf("Table 3: k-ary SplayNet on Facebook workload (n=%d, m=%d)", w.FB.N, w.FB.Len()), w.FB},
 	}
 	for i, p := range TemporalPs {
 		tr := w.Temporals[p]
-		out = append(out, KAryTable(
+		specs = append(specs, spec{
 			fmt.Sprintf("Table %d: k-ary SplayNet on synthetic workload, temporal parameter %.2f (n=%d, m=%d)", 4+i, p, tr.N, tr.Len()),
-			tr, sc))
+			tr,
+		})
 	}
-	return out
+	out := make([]KAryTableResult, 0, len(specs))
+	for _, s := range specs {
+		res, err := KAryTableCtx(ctx, eng, s.title, s.tr, sc)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
 }

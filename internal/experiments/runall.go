@@ -1,38 +1,123 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
+
+	"github.com/ksan-net/ksan/internal/engine"
 )
 
+// Options configures a suite run.
+type Options struct {
+	// Workers bounds the engine's worker pool (0 = GOMAXPROCS).
+	Workers int
+	// Progress, when set, receives one human-readable line per completed
+	// suite section (and is safe to point at os.Stderr via a closure).
+	Progress func(section string)
+}
+
+// NewEngine builds the experiment engine for these options.
+func (o Options) NewEngine(extra ...engine.Option) *engine.Engine {
+	opts := []engine.Option{engine.WithWorkers(o.Workers)}
+	return engine.New(append(opts, extra...)...)
+}
+
+func (o Options) Report(format string, args ...any) {
+	if o.Progress != nil {
+		o.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
 // RunAll regenerates every experiment at the given scale and streams the
-// tables to w in paper order. It is the engine behind cmd/ksanbench.
+// tables to w in paper order; it is the historical entry point, kept as a
+// thin wrapper over RunSuite. It panics on failure, as the seed code did
+// (with a background context the only failures are builder errors).
 func RunAll(w io.Writer, sc Scale) {
+	if err := RunSuite(context.Background(), w, sc, Options{}); err != nil {
+		panic(err)
+	}
+}
+
+// RunSuite regenerates every experiment at the given scale and streams the
+// tables to w in paper order, honoring cancellation between and inside
+// sections. It is the engine behind cmd/ksanbench.
+func RunSuite(ctx context.Context, w io.Writer, sc Scale, opt Options) error {
+	eng := opt.NewEngine()
 	fmt.Fprintf(w, "== ksan experiment suite, scale %q (m=%d requests per trace) ==\n\n", sc.Name, sc.Requests)
 	loads := MakeWorkloads(sc)
+	opt.Report("workloads generated (scale %s)", sc.Name)
 
-	for _, res := range Tables1Through7(loads, sc) {
+	tables, err := Tables1Through7Ctx(ctx, eng, loads, sc)
+	if err != nil {
+		return err
+	}
+	for _, res := range tables {
 		fmt.Fprintln(w, res.Table.Render())
 	}
-	_, t8 := Table8(loads, sc)
+	opt.Report("tables 1-7 done")
+
+	_, t8, err := Table8Ctx(ctx, eng, loads, sc)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, t8.Render())
+	opt.Report("table 8 done")
 
 	ns := []int{10, 30, 60, 100, 250, 500, 999}
 	ks := []int{2, 3, 5, 10}
-	remark, all := CentroidOptimality(ns, ks)
+	remark, all, err := CentroidOptimalityCtx(ctx, opt.Workers, ns, ks)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, remark.Render())
 	fmt.Fprintf(w, "centroid tree optimal on every tested (n,k): %v\n\n", all)
+	opt.Report("remark 10 done")
 
-	fmt.Fprintln(w, Lemma9Scaling([]int{256, 512, 1024, 2048, 4096}, ks).Render())
-	fmt.Fprintln(w, EntropyBoundCheck(loads, 3).Render())
+	lemma9, err := Lemma9ScalingCtx(ctx, opt.Workers, []int{256, 512, 1024, 2048, 4096}, ks)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, lemma9.Render())
+	opt.Report("lemma 9 done")
+
+	entropy, err := EntropyBoundCheckCtx(ctx, eng, loads, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, entropy.Render())
+	opt.Report("entropy bound done")
 
 	abTr := loads.Temporals[0.5]
 	abKs := []int{2, 4, 8}
-	fmt.Fprintln(w, AblationCostAccounting(abTr, abKs).Render())
-	fmt.Fprintln(w, AblationSemiSplayOnly(abTr, abKs).Render())
-	fmt.Fprintln(w, AblationBlockPolicy(abTr, abKs).Render())
-	fmt.Fprintln(w, AblationInitialTopology(abTr, 4).Render())
+	a1, err := AblationCostAccountingCtx(ctx, eng, abTr, abKs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, a1.Render())
+	a2, err := AblationSemiSplayOnlyCtx(ctx, eng, abTr, abKs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, a2.Render())
+	a3, err := AblationBlockPolicyCtx(ctx, eng, abTr, abKs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, a3.Render())
+	a4, err := AblationInitialTopologyCtx(ctx, eng, abTr, 4)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, a4.Render())
+	opt.Report("ablations done")
 
 	m := int64(abTr.Len())
-	fmt.Fprintln(w, LazyVsReactive(abTr, 4, []int64{m / 2, 2 * m, 8 * m}).Render())
+	lazy, err := LazyVsReactiveCtx(ctx, eng, abTr, 4, []int64{m / 2, 2 * m, 8 * m})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, lazy.Render())
+	opt.Report("lazy vs reactive done")
+	return ctx.Err()
 }

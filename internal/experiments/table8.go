@@ -1,11 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"github.com/ksan-net/ksan/internal/centroidnet"
+	"github.com/ksan-net/ksan/internal/engine"
 	"github.com/ksan-net/ksan/internal/report"
 	"github.com/ksan-net/ksan/internal/sim"
 	"github.com/ksan-net/ksan/internal/splaynet"
@@ -30,38 +30,84 @@ type Table8Row struct {
 // Table8 reproduces the paper's Table 8: the centroid heuristic case study
 // for k=2 across all eight workloads.
 func Table8(w Workloads, sc Scale) ([]Table8Row, report.Table) {
-	type job struct {
-		name string
-		tr   workload.Trace
+	rows, t, err := Table8Ctx(context.Background(), engine.New(), w, sc)
+	if err != nil {
+		// The historical signature has no error path; fail as loudly as the
+		// seed code did.
+		panic(err)
 	}
-	jobs := []job{
-		{"Uniform", w.Uniform},
-		{"HPC", w.HPC},
-		{"ProjecToR", w.Proj},
-		{"Facebook", w.FB},
+	return rows, t
+}
+
+// Table8Ctx is Table8 on an explicit engine: the two self-adjusting
+// networks × eight workloads run as one declarative grid on the bounded
+// pool, and the static-tree distances are computed alongside.
+func Table8Ctx(ctx context.Context, eng *engine.Engine, w Workloads, sc Scale) ([]Table8Row, report.Table, error) {
+	traces := []engine.TraceSpec{
+		namedSpec("Uniform", w.Uniform),
+		namedSpec("HPC", w.HPC),
+		namedSpec("ProjecToR", w.Proj),
+		namedSpec("Facebook", w.FB),
 	}
 	for _, p := range TemporalPs {
-		jobs = append(jobs, job{fmt.Sprintf("Temporal %.2f", p), w.Temporals[p]})
+		traces = append(traces, namedSpec(fmt.Sprintf("Temporal %.2f", p), w.Temporals[p]))
+	}
+	nets := []engine.NetworkSpec{
+		{Name: "3-SplayNet", Make: func(n int) sim.Network { return centroidnet.MustNew(n, 2) }},
+		{Name: "SplayNet", Make: func(n int) sim.Network { return splaynet.MustNew(n) }},
 	}
 
-	rows := make([]Table8Row, len(jobs))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i, jb := range jobs {
-		wg.Add(1)
-		go func(i int, jb job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rows[i] = table8Row(jb.name, jb.tr, sc)
-		}(i, jb)
-	}
-	wg.Wait()
-
+	rows := make([]Table8Row, len(traces))
 	t := report.Table{
 		Title:  fmt.Sprintf("Table 8: 3-SplayNet vs other networks (avg request cost; ratios are other/3-SplayNet, m=%d)", sc.Requests),
 		Header: []string{"", "3-SplayNet", "SplayNet", "Full Binary Net", "Static Optimal Net"},
 	}
+
+	grid, err := eng.RunGrid(ctx, nets, traces)
+	if err != nil {
+		return rows, t, err
+	}
+
+	type static struct {
+		full, opt int64
+		approx    bool
+	}
+	statics := make([]static, len(traces))
+	err = engine.ParallelFor(ctx, eng.Workers(), len(traces), func(j int) error {
+		tr := traces[j]
+		d := workload.DemandFromTrace(workload.Trace{N: tr.N, Reqs: tr.Reqs})
+		full, err := statictree.Full(tr.N, 2)
+		if err != nil {
+			return err
+		}
+		statics[j].full = statictree.TotalDistance(full, d)
+		if tr.N <= sc.OptMaxN {
+			_, statics[j].opt, err = statictree.Optimal(d, 2)
+		} else {
+			// The cubic DP is out of reach (the paper hit the same wall at
+			// Facebook scale); substitute the weight-balanced approximation
+			// and flag it.
+			_, statics[j].opt, err = statictree.WeightBalanced(d, 2)
+			statics[j].approx = true
+		}
+		return err
+	})
+	if err != nil {
+		return rows, t, err
+	}
+
+	for j, tr := range traces {
+		m := float64(len(tr.Reqs))
+		rows[j] = Table8Row{
+			Workload:     tr.Name,
+			CentroidAvg:  float64(grid[0][j].Total()) / m,
+			SplayAvg:     float64(grid[1][j].Total()) / m,
+			FullAvg:      float64(statics[j].full) / m,
+			OptAvg:       float64(statics[j].opt) / m,
+			OptApproxima: statics[j].approx,
+		}
+	}
+
 	for _, r := range rows {
 		opt := report.RatioF(r.OptAvg, r.CentroidAvg)
 		if r.OptApproxima {
@@ -74,43 +120,13 @@ func Table8(w Workloads, sc Scale) ([]Table8Row, report.Table) {
 			opt,
 		)
 	}
-	return rows, t
+	return rows, t, nil
 }
 
-func table8Row(name string, tr workload.Trace, sc Scale) Table8Row {
-	m := float64(tr.Len())
-	d := workload.DemandFromTrace(tr)
-
-	cen := sim.Run(centroidnet.MustNew(tr.N, 2), tr.Reqs)
-	spl := sim.Run(splaynet.MustNew(tr.N), tr.Reqs)
-
-	full, err := statictree.Full(tr.N, 2)
-	if err != nil {
-		panic(err)
-	}
-	fullDist := statictree.TotalDistance(full, d)
-
-	var optDist int64
-	approx := false
-	if tr.N <= sc.OptMaxN {
-		_, optDist, err = statictree.Optimal(d, 2)
-	} else {
-		// The cubic DP is out of reach (the paper hit the same wall at
-		// Facebook scale); substitute the weight-balanced approximation and
-		// flag it.
-		_, optDist, err = statictree.WeightBalanced(d, 2)
-		approx = true
-	}
-	if err != nil {
-		panic(err)
-	}
-
-	return Table8Row{
-		Workload:     name,
-		CentroidAvg:  float64(cen.Total()) / m,
-		SplayAvg:     float64(spl.Total()) / m,
-		FullAvg:      float64(fullDist) / m,
-		OptAvg:       float64(optDist) / m,
-		OptApproxima: approx,
-	}
+// namedSpec is traceSpec with a report label overriding the trace's own
+// workload name.
+func namedSpec(name string, tr workload.Trace) engine.TraceSpec {
+	s := traceSpec(tr)
+	s.Name = name
+	return s
 }

@@ -36,6 +36,7 @@ type Net struct {
 	sinceRebuild int64
 	window       []sim.Request
 	rebuilds     int64
+	churn        int64
 }
 
 // New constructs a lazy network with threshold alpha and the
@@ -74,6 +75,12 @@ func (net *Net) N() int { return net.n }
 // Rebuilds returns how many reconfigurations have happened.
 func (net *Net) Rebuilds() int64 { return net.rebuilds }
 
+// LinkChurn returns the cumulative number of links added plus removed by
+// reconfigurations, implementing the engine's ChurnReporter extension. The
+// topology object is replaced wholesale on every rebuild, so the engine
+// cannot read churn off a stable tree; the network accounts it itself.
+func (net *Net) LinkChurn() int64 { return net.churn }
+
 // Tree exposes the current topology.
 func (net *Net) Tree() *core.Tree { return net.t }
 
@@ -109,6 +116,7 @@ func (net *Net) rebuild() int64 {
 	net.sinceRebuild = 0
 	net.window = net.window[:0]
 	net.rebuilds++
+	net.churn += churn
 	return churn
 }
 

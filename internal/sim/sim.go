@@ -68,9 +68,69 @@ func (r Result) AvgTotal() float64 {
 	return float64(r.Total()) / float64(r.Requests)
 }
 
+// BatchCost aggregates the cost of serving a slice of requests, together
+// with the per-request routing-cost histogram the engine needs for
+// percentile reporting: Hist[c] counts the requests whose routing cost was
+// exactly c edges.
+type BatchCost struct {
+	Routing int64
+	Adjust  int64
+	Hist    []int64
+}
+
+// Observe folds one request's cost into the batch aggregate.
+func (b *BatchCost) Observe(c Cost) {
+	b.Routing += c.Routing
+	b.Adjust += c.Adjust
+	b.Hist = ObserveHist(b.Hist, c.Routing)
+}
+
+// Merge folds another batch aggregate into b (associative, so shards
+// evaluated concurrently merge to the same totals in any grouping).
+func (b *BatchCost) Merge(o BatchCost) {
+	b.Routing += o.Routing
+	b.Adjust += o.Adjust
+	if len(o.Hist) > len(b.Hist) {
+		b.Hist = append(b.Hist, make([]int64, len(o.Hist)-len(b.Hist))...)
+	}
+	for c, n := range o.Hist {
+		b.Hist[c] += n
+	}
+}
+
+// ObserveHist increments hist[cost], growing the histogram as needed.
+func ObserveHist(hist []int64, cost int64) []int64 {
+	for int64(len(hist)) <= cost {
+		hist = append(hist, 0)
+	}
+	hist[cost]++
+	return hist
+}
+
+// BatchServer is an optional Network extension for topologies whose Serve
+// has no side effects (static trees): the engine may evaluate disjoint
+// request shards with concurrent ServeBatch calls and merge the aggregates,
+// so implementations must be safe for concurrent use and must not
+// self-adjust.
+type BatchServer interface {
+	Network
+	ServeBatch(reqs []Request) BatchCost
+}
+
 // Run serves every request of the trace on the network and returns the
-// aggregated cost.
+// aggregated cost. It is the compatibility wrapper around the historical
+// seed loop; the richer streaming engine lives in internal/engine.
+//
+// Run panics with the Validate error if any endpoint falls outside
+// 1..net.N(). Returning an error would break the historical signature every
+// experiment builds on, and silently skipping bad requests would corrupt
+// results, so rejecting at the boundary with a descriptive panic replaces
+// the old behavior of panicking (or corrupting routing state) deep inside a
+// network. engine.Run returns the error instead.
 func Run(net Network, reqs []Request) Result {
+	if err := Validate(reqs, net.N()); err != nil {
+		panic(err)
+	}
 	res := Result{Name: net.Name(), Requests: int64(len(reqs))}
 	for _, rq := range reqs {
 		c := net.Serve(rq.Src, rq.Dst)

@@ -67,6 +67,29 @@ func TestRunAllOrderAndIsolation(t *testing.T) {
 	}
 }
 
+func TestRunPanicsOnInvalidTrace(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run accepted an out-of-range endpoint")
+		}
+	}()
+	Run(&fakeNet{n: 3, name: "bad"}, []Request{{Src: 1, Dst: 7}})
+}
+
+func TestBatchCostObserveAndMerge(t *testing.T) {
+	var a, b BatchCost
+	a.Observe(Cost{Routing: 2, Adjust: 1})
+	a.Observe(Cost{Routing: 2})
+	b.Observe(Cost{Routing: 5, Adjust: 3})
+	a.Merge(b)
+	if a.Routing != 9 || a.Adjust != 4 {
+		t.Fatalf("merged totals %d/%d", a.Routing, a.Adjust)
+	}
+	if a.Hist[2] != 2 || a.Hist[5] != 1 {
+		t.Fatalf("merged hist %v", a.Hist)
+	}
+}
+
 func TestValidate(t *testing.T) {
 	if err := Validate([]Request{{1, 2}, {2, 1}}, 2); err != nil {
 		t.Errorf("valid requests rejected: %v", err)

@@ -1,0 +1,94 @@
+package statictree
+
+import (
+	"math/bits"
+
+	"github.com/ksan-net/ksan/internal/core"
+)
+
+// distIndex is a constant-time distance oracle over a static topology: an
+// Euler tour of the tree with a sparse-table RMQ over tour depths, the
+// textbook LCA reduction. Building costs O(n log n) once; each distance
+// query is then a handful of array lookups instead of the three root-ward
+// pointer walks core.Tree.Distance performs. This is what makes batch
+// routing-cost evaluation (sim.BatchServer) profitable even on one core,
+// and it is only sound because the wrapped tree never changes.
+type distIndex struct {
+	depth []int32 // depth[id] for id in 1..n
+	first []int32 // first[id]: first occurrence of id in the Euler tour
+	euler []int32 // node ids in Euler-tour order (2n-1 entries)
+	// table[j][i] is the tour position with minimum depth in the window
+	// [i, i+2^j); table[0] is the tour positions themselves.
+	table [][]int32
+}
+
+// newDistIndex builds the oracle from a tree rooted at t.Root().
+func newDistIndex(t *core.Tree) *distIndex {
+	n := t.N()
+	ix := &distIndex{
+		depth: make([]int32, n+1),
+		first: make([]int32, n+1),
+		euler: make([]int32, 0, 2*n-1),
+	}
+	var tour func(nd *core.Node, depth int32)
+	tour = func(nd *core.Node, depth int32) {
+		id := int32(nd.ID())
+		ix.first[id] = int32(len(ix.euler))
+		ix.depth[id] = depth
+		ix.euler = append(ix.euler, id)
+		for i := 0; i < nd.NumSlots(); i++ {
+			if c := nd.Child(i); c != nil {
+				tour(c, depth+1)
+				ix.euler = append(ix.euler, id)
+			}
+		}
+	}
+	tour(t.Root(), 0)
+	ix.buildRMQ()
+	return ix
+}
+
+func (ix *distIndex) buildRMQ() {
+	m := len(ix.euler)
+	levels := bits.Len(uint(m))
+	ix.table = make([][]int32, levels)
+	base := make([]int32, m)
+	for i := range base {
+		base[i] = int32(i)
+	}
+	ix.table[0] = base
+	for j := 1; j < levels; j++ {
+		width := 1 << j
+		prev := ix.table[j-1]
+		row := make([]int32, m-width+1)
+		for i := range row {
+			a, b := prev[i], prev[i+width/2]
+			if ix.tourDepth(a) <= ix.tourDepth(b) {
+				row[i] = a
+			} else {
+				row[i] = b
+			}
+		}
+		ix.table[j] = row
+	}
+}
+
+func (ix *distIndex) tourDepth(pos int32) int32 { return ix.depth[ix.euler[pos]] }
+
+// dist returns the path length in edges between nodes u and v.
+func (ix *distIndex) dist(u, v int) int64 {
+	if u == v {
+		return 0
+	}
+	l, r := ix.first[u], ix.first[v]
+	if l > r {
+		l, r = r, l
+	}
+	j := bits.Len(uint(r-l+1)) - 1
+	a, b := ix.table[j][l], ix.table[j][r-int32(1<<j)+1]
+	lcaDepth := ix.tourDepth(a)
+	if d := ix.tourDepth(b); d < lcaDepth {
+		lcaDepth = d
+	}
+	return int64(ix.depth[u] + ix.depth[v] - 2*lcaDepth)
+}

@@ -1,0 +1,69 @@
+package statictree
+
+import (
+	"testing"
+
+	"github.com/ksan-net/ksan/internal/core"
+	"github.com/ksan-net/ksan/internal/sim"
+	"github.com/ksan-net/ksan/internal/workload"
+)
+
+// TestDistIndexMatchesTreeDistance checks the Euler-tour/RMQ oracle
+// against the pointer-walking reference on every node pair of assorted
+// topologies, including the degenerate path.
+func TestDistIndexMatchesTreeDistance(t *testing.T) {
+	for _, cfg := range []struct {
+		n, k int
+	}{{1, 2}, {2, 3}, {17, 2}, {40, 3}, {63, 5}, {100, 10}} {
+		trees := map[string]*core.Tree{}
+		tr, err := core.NewBalanced(cfg.n, cfg.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees["balanced"] = tr
+		if rnd, err := core.NewRandom(cfg.n, cfg.k, int64(cfg.n)); err == nil {
+			trees["random"] = rnd
+		}
+		if p, err := core.NewPath(cfg.n, cfg.k); err == nil {
+			trees["path"] = p
+		}
+		for name, tr := range trees {
+			ix := newDistIndex(tr)
+			for u := 1; u <= tr.N(); u++ {
+				for v := 1; v <= tr.N(); v++ {
+					if got, want := ix.dist(u, v), int64(tr.DistanceID(u, v)); got != want {
+						t.Fatalf("%s n=%d k=%d: dist(%d,%d)=%d, tree says %d", name, cfg.n, cfg.k, u, v, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestServeBatchMatchesServe checks totals and histogram of the batch path
+// against per-request serving.
+func TestServeBatchMatchesServe(t *testing.T) {
+	tr, err := Centroid(77, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewNet("centroid", tr)
+	reqs := workload.Uniform(77, 10_000, 5).Reqs
+	bc := net.ServeBatch(reqs)
+	var routing int64
+	hist := map[int64]int64{}
+	for _, rq := range reqs {
+		c := net.Serve(rq.Src, rq.Dst)
+		routing += c.Routing
+		hist[c.Routing]++
+	}
+	if bc.Routing != routing || bc.Adjust != 0 {
+		t.Fatalf("batch %d/%d, serve %d/0", bc.Routing, bc.Adjust, routing)
+	}
+	for c, n := range bc.Hist {
+		if n != hist[int64(c)] {
+			t.Errorf("hist[%d]=%d, serve path says %d", c, n, hist[int64(c)])
+		}
+	}
+	var _ sim.BatchServer = net // the static net must satisfy the batch surface
+}

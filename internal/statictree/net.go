@@ -1,16 +1,23 @@
 package statictree
 
 import (
+	"sync"
+
 	"github.com/ksan-net/ksan/internal/core"
 	"github.com/ksan-net/ksan/internal/sim"
 )
 
 // Net wraps a static topology as a sim.Network: requests are routed along
 // the (fixed) tree path and no adjustment ever happens, so the adjustment
-// cost is always zero.
+// cost is always zero. It also implements sim.BatchServer, evaluating
+// request slices against a lazily built constant-time distance oracle; the
+// wrapped tree must not be mutated after the first Serve/ServeBatch call.
 type Net struct {
 	name string
 	t    *core.Tree
+
+	once sync.Once
+	ix   *distIndex
 }
 
 // NewNet wraps tree as a static network labelled name.
@@ -30,4 +37,26 @@ func (s *Net) Tree() *core.Tree { return s.t }
 // Serve implements sim.Network: routing cost only.
 func (s *Net) Serve(u, v int) sim.Cost {
 	return sim.Cost{Routing: int64(s.t.DistanceID(u, v))}
+}
+
+// index returns the distance oracle, building it on first use.
+func (s *Net) index() *distIndex {
+	s.once.Do(func() { s.ix = newDistIndex(s.t) })
+	return s.ix
+}
+
+// ServeBatch implements sim.BatchServer. The topology is immutable, so
+// disjoint shards of a trace may be evaluated by concurrent ServeBatch
+// calls; each query hits the O(1) Euler-tour/RMQ oracle rather than walking
+// parent pointers, which is what makes batch evaluation fast even before
+// any sharding.
+func (s *Net) ServeBatch(reqs []sim.Request) sim.BatchCost {
+	ix := s.index()
+	var bc sim.BatchCost
+	for _, rq := range reqs {
+		d := ix.dist(rq.Src, rq.Dst)
+		bc.Routing += d
+		bc.Hist = sim.ObserveHist(bc.Hist, d)
+	}
+	return bc
 }

@@ -19,17 +19,22 @@
 //     for very large instances (WeightBalancedTree);
 //   - workload generators mirroring the paper's evaluation traces, demand
 //     matrices, trace statistics and CSV I/O;
-//   - a simulation engine with the paper's cost model (Run, RunAll).
+//   - a streaming simulation engine with the paper's cost model: the
+//     classic aggregate entry points (Run, RunAll) plus an Engine with
+//     cancellation, warmup windows, cost time-series, routing percentiles
+//     and deterministic parallel grid execution (NewEngine, RunGrid).
 //
 // The cmd/ksanbench binary regenerates every table and figure of the
 // paper's evaluation; see DESIGN.md and EXPERIMENTS.md.
 package ksan
 
 import (
+	"context"
 	"io"
 
 	"github.com/ksan-net/ksan/internal/centroidnet"
 	"github.com/ksan-net/ksan/internal/core"
+	"github.com/ksan-net/ksan/internal/engine"
 	"github.com/ksan-net/ksan/internal/karynet"
 	"github.com/ksan-net/ksan/internal/lazynet"
 	"github.com/ksan-net/ksan/internal/sim"
@@ -185,9 +190,100 @@ func WriteTraceCSV(w io.Writer, tr Trace) error { return workload.WriteCSV(w, tr
 // ReadTraceCSV parses a trace written by WriteTraceCSV.
 func ReadTraceCSV(r io.Reader) (Trace, error) { return workload.ReadCSV(r) }
 
-// Run serves a request sequence on a network and aggregates its cost.
-func Run(net Network, reqs []Request) Result { return sim.Run(net, reqs) }
+// Engine is the streaming simulation engine: context cancellation,
+// warmup/measurement windows, per-window cost time-series, routing
+// percentiles, progress callbacks, and deterministic parallel grid
+// execution. Construct with NewEngine.
+type Engine = engine.Engine
+
+// EngineOption configures an Engine (see WithWorkers, WithWarmup,
+// WithWindow, WithProgress, WithValidation, WithLinkChurn).
+type EngineOption = engine.Option
+
+// EngineResult is the extended per-run result of the streaming engine; it
+// embeds the classic Result and adds percentiles, warmup accounting,
+// link churn, throughput and the per-window cost time-series.
+type EngineResult = engine.Result
+
+// WindowSample is one point of a run's per-window cost time-series.
+type WindowSample = engine.WindowSample
+
+// EngineProgress is a progress-callback event of the streaming engine.
+type EngineProgress = engine.Progress
+
+// NetworkSpec declares one network design of a declarative grid.
+type NetworkSpec = engine.NetworkSpec
+
+// TraceSpec declares one trace of a declarative grid.
+type TraceSpec = engine.TraceSpec
+
+// BatchServer is the optional Network extension for static topologies
+// whose request slices the engine may evaluate in concurrent shards.
+type BatchServer = sim.BatchServer
+
+// NewEngine constructs a streaming simulation engine.
+func NewEngine(opts ...EngineOption) *Engine { return engine.New(opts...) }
+
+// WithWorkers bounds the engine's worker pool (default GOMAXPROCS).
+func WithWorkers(n int) EngineOption { return engine.WithWorkers(n) }
+
+// WithWarmup excludes the first n requests of each trace from measurement.
+func WithWarmup(n int) EngineOption { return engine.WithWarmup(n) }
+
+// WithWindow samples a cost time-series point every w measured requests.
+func WithWindow(w int) EngineOption { return engine.WithWindow(w) }
+
+// WithProgress installs a progress callback (calls are serialized).
+func WithProgress(fn func(EngineProgress)) EngineOption { return engine.WithProgress(fn) }
+
+// WithValidation toggles trace validation (default on).
+func WithValidation(on bool) EngineOption { return engine.WithValidation(on) }
+
+// WithLinkChurn enables physical link-churn accounting where available.
+func WithLinkChurn(on bool) EngineOption { return engine.WithLinkChurn(on) }
+
+// TraceSpecOf adapts a workload Trace to a grid TraceSpec.
+func TraceSpecOf(tr Trace) TraceSpec {
+	return TraceSpec{Name: tr.Name, N: tr.N, Reqs: tr.Reqs}
+}
+
+// RunGrid evaluates the cross product of networks × traces on a bounded
+// worker pool, deterministically: out[i][j] is networks[i] on traces[j].
+func RunGrid(ctx context.Context, networks []NetworkSpec, traces []TraceSpec, opts ...EngineOption) ([][]EngineResult, error) {
+	return engine.New(opts...).RunGrid(ctx, networks, traces)
+}
+
+// Run serves a request sequence on a network and aggregates its cost. It
+// is the historical entry point, now a thin wrapper over the streaming
+// engine; results are bit-identical to the seed loop. Run panics with a
+// descriptive error if the trace references endpoints outside 1..net.N()
+// (the engine's Run returns the error instead — the documented trade for
+// keeping this signature).
+func Run(net Network, reqs []Request) Result {
+	res, err := engine.New().Run(context.Background(), net, reqs)
+	if err != nil {
+		panic(err)
+	}
+	return res.Result
+}
 
 // RunAll serves the same requests on independently constructed networks
-// concurrently and returns results in input order.
-func RunAll(makers []func() Network, reqs []Request) []Result { return sim.RunAll(makers, reqs) }
+// concurrently and returns results in input order. Like Run it is a thin
+// wrapper over the streaming engine's grid runner and panics on invalid
+// traces.
+func RunAll(makers []func() Network, reqs []Request) []Result {
+	nets := make([]NetworkSpec, len(makers))
+	for i, mk := range makers {
+		mk := mk
+		nets[i] = NetworkSpec{Make: func(int) sim.Network { return mk() }}
+	}
+	grid, err := engine.New().RunGrid(context.Background(), nets, []TraceSpec{{Reqs: reqs}})
+	if err != nil {
+		panic(err)
+	}
+	out := make([]Result, len(makers))
+	for i := range grid {
+		out[i] = grid[i][0].Result
+	}
+	return out
+}
