@@ -1,0 +1,72 @@
+package ksan
+
+// Allocation regression tests for the sequential serve path. The engine's
+// determinism contract serves every self-adjusting network strictly
+// sequentially, so per-request constant factors — and in particular
+// per-request allocations — bound the throughput of the whole evaluation.
+// These tests pin the invariant that Serve performs zero steady-state
+// allocations on every self-adjusting design: the generalized rotation
+// recycles each node's routing-array and child-slot capacity (construction
+// pads both to exactly k−1 and k entries, and rotations preserve that), the
+// fragment expansion reuses per-tree scratch buffers, and the splay loops
+// build no per-step slices.
+
+import "testing"
+
+// assertServeZeroAllocs drives the network through the whole trace once
+// (letting the per-tree scratch buffers reach their steady-state capacity)
+// and then asserts that continuing to serve the trace allocates nothing.
+func assertServeZeroAllocs(t *testing.T, net Network, tr Trace) {
+	t.Helper()
+	i := 0
+	serve := func() {
+		rq := tr.Reqs[i%len(tr.Reqs)]
+		i++
+		net.Serve(rq.Src, rq.Dst)
+	}
+	for range tr.Reqs {
+		serve()
+	}
+	if avg := testing.AllocsPerRun(2000, serve); avg != 0 {
+		t.Errorf("%s: %.2f allocs per steady-state Serve, want 0", net.Name(), avg)
+	}
+}
+
+func TestServeZeroAllocsKAry(t *testing.T) {
+	tr := TemporalWorkload(255, 10000, 0.75, 1)
+	for _, k := range []int{2, 3, 7} {
+		net, err := NewKArySplayNet(255, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertServeZeroAllocs(t, net, tr)
+	}
+}
+
+func TestServeZeroAllocsKArySemiSplayOnly(t *testing.T) {
+	tr := TemporalWorkload(255, 10000, 0.5, 2)
+	net, err := NewKArySplayNet(255, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetSemiSplayOnly(true)
+	assertServeZeroAllocs(t, net, tr)
+}
+
+func TestServeZeroAllocsCentroid(t *testing.T) {
+	tr := TemporalWorkload(255, 10000, 0.75, 1)
+	net, err := NewCentroidSplayNet(255, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertServeZeroAllocs(t, net, tr)
+}
+
+func TestServeZeroAllocsSplayNet(t *testing.T) {
+	tr := TemporalWorkload(255, 10000, 0.75, 1)
+	net, err := NewSplayNet(255)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertServeZeroAllocs(t, net, tr)
+}

@@ -24,6 +24,31 @@ func benchServe(b *testing.B, mk func() Network, tr Trace) {
 	}
 }
 
+// --- The sequential serve path (the throughput ceiling of the whole
+// evaluation: the determinism contract forbids sharding self-adjusting
+// networks, so ns/Serve is what bounds requests/sec). These four pin the
+// allocation-free fused fast path; EXPERIMENTS.md records their history. ---
+
+func BenchmarkServeKAryTemporal(b *testing.B) {
+	tr := TemporalWorkload(255, 20000, 0.75, 1)
+	benchServe(b, func() Network { n, _ := NewKArySplayNet(255, 3); return n }, tr)
+}
+
+func BenchmarkServeKAryUniform(b *testing.B) {
+	tr := UniformWorkload(1023, 20000, 2)
+	benchServe(b, func() Network { n, _ := NewKArySplayNet(1023, 5); return n }, tr)
+}
+
+func BenchmarkServeCentroidTemporal(b *testing.B) {
+	tr := TemporalWorkload(255, 20000, 0.75, 1)
+	benchServe(b, func() Network { n, _ := NewCentroidSplayNet(255, 2); return n }, tr)
+}
+
+func BenchmarkServeSplayNetTemporal(b *testing.B) {
+	tr := TemporalWorkload(255, 20000, 0.75, 1)
+	benchServe(b, func() Network { n, _ := NewSplayNet(255); return n }, tr)
+}
+
 // --- Tables 1–7: k-ary SplayNet on each workload (k=3 representative) ---
 
 func BenchmarkTable1HPCKAry(b *testing.B) {

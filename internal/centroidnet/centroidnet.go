@@ -156,14 +156,14 @@ func (net *Net) Serve(u, v int) sim.Cost {
 		return sim.Cost{}
 	}
 	a, b := t.NodeByID(u), t.NodeByID(v)
-	dist := int64(t.Distance(a, b))
+	d, w := t.DistanceLCA(a, b)
+	dist := int64(d)
 	before := t.Rotations()
 	ru, rv := net.regionOf(u), net.regionOf(v)
 	switch {
 	case ru == -1 && rv == -1:
 		// centroid to centroid: static.
 	case ru == rv:
-		w := t.LCA(a, b)
 		t.SplayUntilParent(a, w.Parent())
 		t.SplayUntilParent(b, a)
 	default:

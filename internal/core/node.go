@@ -11,6 +11,11 @@ type Node struct {
 	parent     *Node
 	thresholds []int
 	children   []*Node
+	// mark is the rebuild generation that last placed this node on a
+	// rotation fragment path; comparing it against the tree's generation
+	// counter answers path membership in O(1) without per-rebuild
+	// bookkeeping allocations.
+	mark uint64
 }
 
 // ID returns the node's permanent identifier.

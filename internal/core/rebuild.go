@@ -33,6 +33,14 @@ func (t *Tree) SetBlockPolicy(p BlockPolicy) { t.blockPolicy = p }
 // first node's gap it matches the "second case" (a chain).
 //
 // Node identifiers never change; only routing arrays and adjacency do.
+//
+// rebuild is allocation-free in steady state: the in-order expansion goes
+// into per-tree scratch buffers, path membership is answered by generation
+// marks instead of a per-call set, and each node's thresholds/children
+// backing arrays are recycled (construction pads every routing array to
+// exactly k−1 elements and rotations preserve that, so the recycled
+// capacity never has to grow). The scratch buffers make rebuild — and
+// therefore Serve on every tree-backed network — non-reentrant per tree.
 func (t *Tree) rebuild(path []*Node) {
 	d := len(path)
 	if d < 2 {
@@ -48,30 +56,15 @@ func (t *Tree) rebuild(path []*Node) {
 	// In-order expansion of the fragment: routing elements interleaved with
 	// hanging subtrees. Path nodes are expanded inline; everything else is
 	// an atomic hanging subtree (possibly nil for an empty slot).
-	elems := make([]int, 0, d*(t.k-1))
-	subs := make([]*Node, 0, d*t.k)
-	onPath := func(nd *Node) bool {
-		for _, pn := range path {
-			if pn == nd {
-				return true
-			}
-		}
-		return false
+	t.markGen++
+	for _, nd := range path {
+		nd.mark = t.markGen
 	}
-	var expand func(nd *Node)
-	expand = func(nd *Node) {
-		for i, ch := range nd.children {
-			if i > 0 {
-				elems = append(elems, nd.thresholds[i-1])
-			}
-			if ch != nil && onPath(ch) {
-				expand(ch)
-			} else {
-				subs = append(subs, ch)
-			}
-		}
-	}
-	expand(top)
+	t.scratchElems = t.scratchElems[:0]
+	t.scratchSubs = t.scratchSubs[:0]
+	t.expandFragment(top)
+	elems := t.scratchElems
+	subs := t.scratchSubs
 
 	var before map[edge]struct{}
 	if t.trackEdges {
@@ -79,7 +72,9 @@ func (t *Tree) rebuild(path []*Node) {
 	}
 
 	// Bottom-up reconstruction: path[0..d-2] become interior/leaf nodes of
-	// the fragment; path[d-1] becomes the fragment root.
+	// the fragment; path[d-1] becomes the fragment root. The nodes' slice
+	// capacities are reused; the copies out of the scratch buffers are safe
+	// because expandFragment already detached the values from the nodes.
 	for i := 0; i < d-1; i++ {
 		x := path[i]
 		remNodes := d - i
@@ -87,8 +82,8 @@ func (t *Tree) rebuild(path []*Node) {
 		j := intervalIndex(elems, t.idValue(x.id))
 		s := t.blockStart(j, b, len(elems))
 
-		x.thresholds = append(x.thresholds[:0:0], elems[s:s+b]...)
-		x.children = append(x.children[:0:0], subs[s:s+b+1]...)
+		x.thresholds = append(x.thresholds[:0], elems[s:s+b]...)
+		x.children = append(x.children[:0], subs[s:s+b+1]...)
 		for _, ch := range x.children {
 			if ch != nil {
 				ch.parent = x
@@ -99,8 +94,8 @@ func (t *Tree) rebuild(path []*Node) {
 		subs = append(subs[:s+1], subs[s+b+1:]...)
 	}
 	newTop := path[d-1]
-	newTop.thresholds = append(newTop.thresholds[:0:0], elems...)
-	newTop.children = append(newTop.children[:0:0], subs...)
+	newTop.thresholds = append(newTop.thresholds[:0], elems...)
+	newTop.children = append(newTop.children[:0], subs...)
 	for _, ch := range newTop.children {
 		if ch != nil {
 			ch.parent = newTop
@@ -124,13 +119,44 @@ func (t *Tree) rebuild(path []*Node) {
 	}
 }
 
+// expandFragment emits the in-order expansion of the fragment rooted at nd
+// into the tree's scratch buffers. Nodes marked with the current rebuild
+// generation are on the fragment path and expand inline; everything else is
+// an atomic hanging subtree (possibly nil for an empty slot).
+func (t *Tree) expandFragment(nd *Node) {
+	for i, ch := range nd.children {
+		if i > 0 {
+			t.scratchElems = append(t.scratchElems, nd.thresholds[i-1])
+		}
+		if ch != nil && ch.mark == t.markGen {
+			t.expandFragment(ch)
+		} else {
+			t.scratchSubs = append(t.scratchSubs, ch)
+		}
+	}
+}
+
+// rebuild2 performs one two-node rebuild (a k-semi-splay step) through the
+// tree's fragment-path scratch buffer, avoiding a slice literal per step.
+func (t *Tree) rebuild2(p, x *Node) {
+	t.pathBuf[0], t.pathBuf[1] = p, x
+	t.rebuild(t.pathBuf[:2])
+}
+
+// rebuild3 performs one three-node rebuild (a k-splay step) through the
+// tree's fragment-path scratch buffer.
+func (t *Tree) rebuild3(g, p, x *Node) {
+	t.pathBuf[0], t.pathBuf[1], t.pathBuf[2] = g, p, x
+	t.rebuild(t.pathBuf[:3])
+}
+
 // SemiSplay performs one k-semi-splay rotation: y, a non-root node, becomes
 // the parent of its current parent. It returns an error if y is the root.
 func (t *Tree) SemiSplay(y *Node) error {
 	if y.parent == nil {
 		return fmt.Errorf("core: cannot semi-splay the root (node %d)", y.id)
 	}
-	t.rebuild([]*Node{y.parent, y})
+	t.rebuild2(y.parent, y)
 	return nil
 }
 
@@ -140,7 +166,7 @@ func (t *Tree) SplayStep(z *Node) error {
 	if z.parent == nil || z.parent.parent == nil {
 		return fmt.Errorf("core: k-splay needs a grandparent (node %d)", z.id)
 	}
-	t.rebuild([]*Node{z.parent.parent, z.parent, z})
+	t.rebuild3(z.parent.parent, z.parent, z)
 	return nil
 }
 

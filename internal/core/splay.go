@@ -18,9 +18,9 @@ func (t *Tree) SplayUntilParent(x *Node, stop *Node) {
 			panic(fmt.Sprintf("core: splay target (parent %v) is not an ancestor of node %d", stopID(stop), x.id))
 		}
 		if p.parent == stop {
-			t.rebuild([]*Node{p, x})
+			t.rebuild2(p, x)
 		} else {
-			t.rebuild([]*Node{p.parent, p, x})
+			t.rebuild3(p.parent, p, x)
 		}
 	}
 }
@@ -34,7 +34,7 @@ func (t *Tree) SemiSplayUntilParent(x *Node, stop *Node) {
 		if p == nil {
 			panic(fmt.Sprintf("core: splay target (parent %v) is not an ancestor of node %d", stopID(stop), x.id))
 		}
-		t.rebuild([]*Node{p, x})
+		t.rebuild2(p, x)
 	}
 }
 

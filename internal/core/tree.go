@@ -17,6 +17,16 @@ type Tree struct {
 	edgeChanges int64
 	trackEdges  bool
 	blockPolicy BlockPolicy
+
+	// Per-tree rotation scratch space, owned by rebuild and the splay
+	// loops. Serving is strictly sequential under the engine's determinism
+	// contract, so a single set of buffers per tree suffices; sharing them
+	// across concurrent mutators of the same tree is not supported (see
+	// DESIGN.md on serve-path reentrancy).
+	pathBuf      [3]*Node // fragment paths for splay steps (d ≤ 3)
+	scratchElems []int    // in-order routing elements of the fragment
+	scratchSubs  []*Node  // hanging subtrees interleaved with the elements
+	markGen      uint64   // generation counter for path-membership marks
 }
 
 // K returns the arity bound: every node has at most k children and at most
@@ -75,28 +85,28 @@ func (t *Tree) Depth(nd *Node) int {
 
 // LCA returns the lowest common ancestor of a and b.
 func (t *Tree) LCA(a, b *Node) *Node {
-	da, db := t.Depth(a), t.Depth(b)
-	for da > db {
-		a = a.parent
-		da--
-	}
-	for db > da {
-		b = b.parent
-		db--
-	}
-	for a != b {
-		a = a.parent
-		b = b.parent
-	}
-	return a
+	_, w := t.DistanceLCA(a, b)
+	return w
 }
 
 // Distance returns the length (in edges) of the unique routing path between
 // a and b: up from the source to their lowest common ancestor and down to
 // the destination.
 func (t *Tree) Distance(a, b *Node) int {
+	d, _ := t.DistanceLCA(a, b)
+	return d
+}
+
+// DistanceLCA returns the routing-path length between a and b together with
+// their lowest common ancestor, in a single fused traversal: two depth
+// walks plus one synchronized climb, instead of the two full Distance/LCA
+// passes the serve paths used to make. The self-adjusting networks need
+// both values for every request (the distance is the routing cost, the LCA
+// is the splay target), so the fusion halves the pointer-chasing before
+// each adjustment.
+func (t *Tree) DistanceLCA(a, b *Node) (int, *Node) {
 	if a == b {
-		return 0
+		return 0, a
 	}
 	da, db := t.Depth(a), t.Depth(b)
 	dist := 0
@@ -115,7 +125,7 @@ func (t *Tree) Distance(a, b *Node) int {
 		b = b.parent
 		dist += 2
 	}
-	return dist
+	return dist, a
 }
 
 // DistanceID is Distance on node identifiers.

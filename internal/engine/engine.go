@@ -207,7 +207,14 @@ func (e *Engine) runOne(ctx context.Context, net sim.Network, reqs []sim.Request
 // runSequential serves requests one by one, in order, on a single
 // goroutine: the only sound schedule for self-adjusting networks, whose
 // topology after request t is the input to request t+1. Cancellation is
-// checked at window boundaries and every checkEvery requests.
+// checked at window boundaries and every checkEvery requests; when no
+// time-series window is configured the same checkpoints emit progress,
+// plus one completion event after the last request, so a progress
+// callback fires mid-trace and at the end even for traces shorter than
+// checkEvery (flush, the only other emitter, is a no-op without a window
+// — progress used to stay silent for the whole trace). With a window,
+// flush already emits at every boundary including the final partial
+// window, and the checkpoints stay quiet to avoid a duplicate stream.
 func (e *Engine) runSequential(ctx context.Context, net sim.Network, reqs []sim.Request, warm int, res *Result, emit func(Progress)) ([]int64, error) {
 	const checkEvery = 2048
 	var hist []int64
@@ -223,11 +230,16 @@ func (e *Engine) runSequential(ctx context.Context, net sim.Network, reqs []sim.
 		wRouting, wAdjust = 0, 0
 	}
 	for i, rq := range reqs {
-		if i%checkEvery == 0 && ctx.Err() != nil {
-			if m := i - warm; m > 0 {
-				flush(m)
+		if i%checkEvery == 0 {
+			if ctx.Err() != nil {
+				if m := i - warm; m > 0 {
+					flush(m)
+				}
+				return hist, ctx.Err()
 			}
-			return hist, ctx.Err()
+			if i > 0 && e.window <= 0 {
+				emit(Progress{Requests: i})
+			}
 		}
 		c := net.Serve(rq.Src, rq.Dst)
 		if i < warm {
@@ -249,6 +261,9 @@ func (e *Engine) runSequential(ctx context.Context, net sim.Network, reqs []sim.
 		}
 	}
 	flush(len(reqs) - warm)
+	if e.window <= 0 && len(reqs) > 0 {
+		emit(Progress{Requests: len(reqs)})
+	}
 	return hist, nil
 }
 

@@ -319,6 +319,75 @@ func TestProgressEvents(t *testing.T) {
 	}
 }
 
+func TestProgressWithoutWindowFiresMidTrace(t *testing.T) {
+	// Regression: flush is the only windowed emitter and returns immediately
+	// when no window is configured, so WithProgress without WithWindow never
+	// fired before a sequential trace completed (ksanbench -progress stayed
+	// mute until a whole cell was done). The checkEvery cancellation
+	// checkpoints must emit too.
+	var events []Progress
+	eng := New(WithProgress(func(p Progress) { events = append(events, p) }))
+	rs := reqs(16, 10_000, 7)
+	if _, err := eng.Run(context.Background(), &fakeNet{n: 16, name: "mute"}, rs); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events without a window")
+	}
+	mid := 0
+	prev := -1
+	for _, p := range events {
+		if p.Requests <= prev {
+			t.Errorf("progress not monotone: %d after %d", p.Requests, prev)
+		}
+		prev = p.Requests
+		if p.Requests > 0 && p.Requests < len(rs) {
+			mid++
+		}
+		if p.Total != len(rs) || p.Network != "mute" {
+			t.Errorf("event misses run metadata: %+v", p)
+		}
+	}
+	if mid < 3 {
+		t.Errorf("want mid-trace progress events every 2048 requests, got %d of %d total",
+			mid, len(events))
+	}
+	if events[len(events)-1].Requests != len(rs) {
+		t.Errorf("last event at %d requests, want a completion event at %d",
+			events[len(events)-1].Requests, len(rs))
+	}
+
+	// Traces shorter than the checkpoint interval must still report
+	// completion (the original bug: zero events without a window).
+	events = events[:0]
+	short := reqs(16, 2000, 8)
+	if _, err := eng.Run(context.Background(), &fakeNet{n: 16, name: "short"}, short); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Requests != len(short) {
+		t.Errorf("short windowless trace: events %+v, want exactly one completion event at %d",
+			events, len(short))
+	}
+
+	// With a window configured, flush already emits at every boundary: the
+	// checkpoints must stay quiet so the callback sees no duplicates.
+	events = events[:0]
+	withWin := New(WithWindow(1024), WithProgress(func(p Progress) { events = append(events, p) }))
+	if _, err := withWin.Run(context.Background(), &fakeNet{n: 16, name: "win"}, rs); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, p := range events {
+		if seen[p.Requests] {
+			t.Errorf("duplicate progress event at %d requests with a window configured", p.Requests)
+		}
+		seen[p.Requests] = true
+	}
+	if len(events) != (len(rs)+1023)/1024 {
+		t.Errorf("windowed run emitted %d events, want one per window", len(events))
+	}
+}
+
 func TestParallelFor(t *testing.T) {
 	var sum atomic.Int64
 	if err := ParallelFor(context.Background(), 8, 1000, func(i int) error {

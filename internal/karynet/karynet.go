@@ -64,14 +64,18 @@ func (net *Net) Tree() *core.Tree { return net.t }
 // topology (routing cost = path length), then u is splayed to the position
 // of the lowest common ancestor of u and v, and v is splayed to become a
 // child of u. Each k-splay or k-semi-splay step is charged one unit.
+//
+// Serve is allocation-free and, like every tree-backed serve path, not
+// safe for concurrent calls on the same network: the underlying tree owns
+// the rotation scratch buffers (see DESIGN.md).
 func (net *Net) Serve(u, v int) sim.Cost {
 	t := net.t
 	a, b := t.NodeByID(u), t.NodeByID(v)
 	if a == b {
 		return sim.Cost{}
 	}
-	dist := int64(t.Distance(a, b))
-	w := t.LCA(a, b)
+	d, w := t.DistanceLCA(a, b)
+	dist := int64(d)
 	before := t.Rotations()
 	if net.semiOnly {
 		t.SemiSplayUntilParent(a, w.Parent())

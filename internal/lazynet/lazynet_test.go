@@ -116,29 +116,58 @@ func TestExactBuilderForSmallNetworks(t *testing.T) {
 	}
 }
 
-func TestLinkChurnSymmetricAndBounded(t *testing.T) {
-	a, err := core.NewBalanced(40, 3)
+func TestLinkChurnProperties(t *testing.T) {
+	// A known-distinct pair must report nonzero churn (random trees below
+	// are almost surely distinct, but only this pair is guaranteed).
+	bal, err := core.NewBalanced(40, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := core.NewPath(40, 3)
+	path, err := core.NewPath(40, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ab := linkChurn(a, b)
-	ba := linkChurn(b, a)
-	if ab != ba {
-		t.Errorf("churn not symmetric: %d vs %d", ab, ba)
+	if got := linkChurn(bal, path); got == 0 {
+		t.Error("distinct topologies (balanced vs path) reported zero churn")
 	}
-	if ab == 0 {
-		t.Error("distinct topologies reported zero churn")
-	}
-	// At most all links replaced: 2·(n−1).
-	if ab > 2*39 {
-		t.Errorf("churn %d exceeds 2(n-1)", ab)
-	}
-	if got := linkChurn(a, a); got != 0 {
-		t.Errorf("identical topologies churn %d", got)
+
+	// linkChurn guards the model's reconfiguration cost (the number of links
+	// added plus removed when the lazy net swaps topologies). It is the size
+	// of the symmetric difference of the two undirected link sets, so over
+	// random valid topologies it must be symmetric in its arguments, zero
+	// for identical topologies, bounded by 2(n−1) (both trees have exactly
+	// n−1 links, so at worst all are removed and all are added), and obey
+	// the triangle inequality of symmetric differences.
+	for _, n := range []int{2, 3, 17, 40, 101} {
+		for _, k := range []int{2, 3, 5} {
+			for seed := int64(0); seed < 4; seed++ {
+				a, err := core.NewRandom(n, k, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := core.NewRandom(n, k, seed+100)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c, err := core.NewRandom(n, k, seed+200)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ab, ba := linkChurn(a, b), linkChurn(b, a)
+				if ab != ba {
+					t.Errorf("n=%d k=%d seed=%d: churn not symmetric: %d vs %d", n, k, seed, ab, ba)
+				}
+				if ab < 0 || ab > int64(2*(n-1)) {
+					t.Errorf("n=%d k=%d seed=%d: churn %d outside [0, 2(n-1)=%d]", n, k, seed, ab, 2*(n-1))
+				}
+				if got := linkChurn(a, a); got != 0 {
+					t.Errorf("n=%d k=%d seed=%d: identical topologies churn %d", n, k, seed, got)
+				}
+				if ac, cb := linkChurn(a, c), linkChurn(c, b); ab > ac+cb {
+					t.Errorf("n=%d k=%d seed=%d: triangle inequality violated: %d > %d + %d", n, k, seed, ab, ac, cb)
+				}
+			}
+		}
 	}
 }
 

@@ -83,28 +83,32 @@ func (net *Net) depth(x *node) int {
 	return d
 }
 
-func (net *Net) lca(a, b *node) *node {
+// distLCA returns the tree-path length between a and b together with their
+// lowest common ancestor, in one fused traversal (mirroring
+// core.Tree.DistanceLCA): Serve needs both, and the fusion replaces the
+// former lca-then-three-depths walk with two depth walks and one climb.
+func (net *Net) distLCA(a, b *node) (int, *node) {
+	if a == b {
+		return 0, a
+	}
 	da, db := net.depth(a), net.depth(b)
+	dist := 0
 	for da > db {
-		a, da = a.p, da-1
+		a, da, dist = a.p, da-1, dist+1
 	}
 	for db > da {
-		b, db = b.p, db-1
+		b, db, dist = b.p, db-1, dist+1
 	}
 	for a != b {
-		a, b = a.p, b.p
+		a, b, dist = a.p, b.p, dist+2
 	}
-	return a
+	return dist, a
 }
 
 // Distance returns the tree-path length between ids u and v.
 func (net *Net) Distance(u, v int) int {
-	a, b := net.byID[u], net.byID[v]
-	if a == b {
-		return 0
-	}
-	w := net.lca(a, b)
-	return net.depth(a) + net.depth(b) - 2*net.depth(w)
+	d, _ := net.distLCA(net.byID[u], net.byID[v])
+	return d
 }
 
 // rotateUp performs a single BST rotation lifting x above its parent.
@@ -165,8 +169,8 @@ func (net *Net) Serve(u, v int) sim.Cost {
 	if a == b {
 		return sim.Cost{}
 	}
-	dist := int64(net.Distance(u, v))
-	w := net.lca(a, b)
+	d, w := net.distLCA(a, b)
+	dist := int64(d)
 	before := net.rotations
 	net.splayUntilParent(a, w.p)
 	net.splayUntilParent(b, a)

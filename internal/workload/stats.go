@@ -11,7 +11,9 @@ type Stats struct {
 	Requests      int
 	DistinctPairs int
 	// RepeatFraction is the fraction of requests identical to their
-	// immediate predecessor (the empirical temporal-complexity parameter).
+	// immediate predecessor, out of the m−1 requests that have one (the
+	// empirical temporal-complexity parameter: on a Temporal(p) trace it
+	// measures ≈ p). Zero for traces with fewer than two requests.
 	RepeatFraction float64
 	// SrcEntropy and DstEntropy are the empirical Shannon entropies (bits)
 	// of the source and destination marginals; they appear in the paper's
@@ -45,7 +47,11 @@ func Measure(tr Trace) Stats {
 		}
 	}
 	st.DistinctPairs = len(pairs)
-	st.RepeatFraction = float64(repeats) / float64(tr.Len()-0)
+	// Only m−1 requests can repeat their predecessor (the first has none),
+	// so dividing by m would bias the empirical temporal parameter low.
+	if tr.Len() > 1 {
+		st.RepeatFraction = float64(repeats) / float64(tr.Len()-1)
+	}
 	m := float64(tr.Len())
 	entropy := func(counts map[int]int64) float64 {
 		h := 0.0

@@ -1,10 +1,22 @@
 package workload
 
 import (
+	"fmt"
 	"math/rand"
 
 	"github.com/ksan-net/ksan/internal/sim"
 )
+
+// checkPairable rejects node counts that cannot form a single self-loop-free
+// request. Generators panic on invalid parameters (matching Temporal's
+// contract): before this guard, ProjecToRLike and FacebookLike crashed on an
+// out-of-range pairs[0] read when every partner draw collided, and Zipf's
+// self-loop remap could not terminate meaningfully for n=1.
+func checkPairable(gen string, n int) {
+	if n < 2 {
+		panic(fmt.Sprintf("workload: %s needs at least 2 nodes to form a request pair, got n=%d", gen, n))
+	}
+}
 
 // HPCLike substitutes for the DOE mini-app traces used by the paper
 // (500 nodes in their setup). HPC applications exchange messages along a
@@ -139,15 +151,13 @@ func butterflyPartner(src, n int, rng *rand.Rand) int {
 // while the many-warm-pairs regime rewards the centroid net's bounded,
 // subtree-local adjustments.
 func ProjecToRLike(n, m int, seed int64) Trace {
+	checkPairable("ProjecToRLike", n)
 	rng := rand.New(rand.NewSource(seed))
 	pairs := make([]sim.Request, 0, 4*n)
 	for u := 1; u <= n; u++ {
 		partners := 2 + rng.Intn(5)
 		for p := 0; p < partners; p++ {
-			v := 1 + rng.Intn(n)
-			if v == u {
-				continue
-			}
+			v := samplePartner(u, n, rng)
 			pairs = append(pairs, sim.Request{Src: u, Dst: v})
 		}
 	}
@@ -176,15 +186,13 @@ func ProjecToRLike(n, m int, seed int64) Trace {
 // pair population of about 6 pairs per node with Zipf popularity (s=1.1)
 // and a small repeat probability (0.05).
 func FacebookLike(n, m int, seed int64) Trace {
+	checkPairable("FacebookLike", n)
 	rng := rand.New(rand.NewSource(seed))
 	pairs := make([]sim.Request, 0, 6*n)
 	for u := 1; u <= n; u++ {
 		partners := 3 + rng.Intn(7)
 		for p := 0; p < partners; p++ {
-			v := 1 + rng.Intn(n)
-			if v == u {
-				continue
-			}
+			v := samplePartner(u, n, rng)
 			pairs = append(pairs, sim.Request{Src: u, Dst: v})
 		}
 	}
@@ -205,8 +213,11 @@ func FacebookLike(n, m int, seed int64) Trace {
 
 // Zipf draws m requests with both endpoints Zipf(s)-distributed over
 // independently permuted ranks; a generic skewed workload used in tests and
-// examples.
+// examples. Self-loop collisions resample the destination (the former
+// "successor node" remap leaked the source's popularity mass onto a fixed
+// neighbour, distorting the destination marginal).
 func Zipf(n, m int, s float64, seed int64) Trace {
+	checkPairable("Zipf", n)
 	rng := rand.New(rand.NewSource(seed))
 	perm := rng.Perm(n)
 	zipf := newZipfSampler(n, s)
@@ -214,10 +225,21 @@ func Zipf(n, m int, s float64, seed int64) Trace {
 	for i := range reqs {
 		u := perm[zipf.sample(rng)-1] + 1
 		v := perm[zipf.sample(rng)-1] + 1
-		if v == u {
-			v = 1 + v%n
+		for v == u {
+			v = perm[zipf.sample(rng)-1] + 1
 		}
 		reqs[i] = sim.Request{Src: u, Dst: v}
 	}
 	return Trace{Name: "zipf", N: n, Reqs: reqs}
+}
+
+// samplePartner draws a uniform partner for u, resampling self-loops. The
+// former "skip the slot on collision" scheme silently dropped partners — a
+// bias at any n, and a crash (an empty static pair set) for tiny n.
+func samplePartner(u, n int, rng *rand.Rand) int {
+	v := 1 + rng.Intn(n)
+	for v == u {
+		v = 1 + rng.Intn(n)
+	}
+	return v
 }

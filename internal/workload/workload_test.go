@@ -3,7 +3,10 @@ package workload
 import (
 	"bytes"
 	"math"
+	"strings"
 	"testing"
+
+	"github.com/ksan-net/ksan/internal/sim"
 )
 
 func TestUniformBasics(t *testing.T) {
@@ -51,6 +54,26 @@ func TestTemporalRepeatFractionMatchesParameter(t *testing.T) {
 	}
 }
 
+func TestRepeatFractionUnbiasedOnShortTraces(t *testing.T) {
+	rq := func(u, v int) sim.Request { return sim.Request{Src: u, Dst: v} }
+	for _, tc := range []struct {
+		name string
+		reqs []sim.Request
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []sim.Request{rq(1, 2)}, 0}, // no predecessor: nothing can repeat
+		{"all-repeats", []sim.Request{rq(1, 2), rq(1, 2), rq(1, 2)}, 1},
+		{"half", []sim.Request{rq(1, 2), rq(1, 2), rq(2, 3)}, 0.5},
+	} {
+		st := Measure(Trace{N: 3, Reqs: tc.reqs})
+		if st.RepeatFraction != tc.want {
+			t.Errorf("%s: repeat fraction %.3f, want %.3f (must divide by m-1, not m)",
+				tc.name, st.RepeatFraction, tc.want)
+		}
+	}
+}
+
 func TestTemporalRejectsBadParameter(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -58,6 +81,86 @@ func TestTemporalRejectsBadParameter(t *testing.T) {
 		}
 	}()
 	Temporal(10, 10, 1.0, 0)
+}
+
+func TestGeneratorsSmallN(t *testing.T) {
+	// n=1 cannot form a self-loop-free pair: the static-pair generators used
+	// to crash on pairs[0] when every partner draw collided, and Zipf's
+	// successor remap produced self-loops. All must now reject n=1 with a
+	// clear panic and produce valid, full-length traces for n=2 and n=3.
+	gens := map[string]func(n int) Trace{
+		"projector": func(n int) Trace { return ProjecToRLike(n, 500, 1) },
+		"facebook":  func(n int) Trace { return FacebookLike(n, 500, 1) },
+		"zipf":      func(n int) Trace { return Zipf(n, 500, 1.1, 1) },
+	}
+	for name, gen := range gens {
+		for n := 1; n <= 3; n++ {
+			func() {
+				defer func() {
+					r := recover()
+					if n == 1 {
+						if r == nil {
+							t.Errorf("%s(n=1) did not panic", name)
+						} else if msg, ok := r.(string); !ok || !strings.Contains(msg, "at least 2 nodes") {
+							t.Errorf("%s(n=1) panic %v lacks a clear message", name, r)
+						}
+						return
+					}
+					if r != nil {
+						t.Errorf("%s(n=%d) panicked: %v", name, n, r)
+					}
+				}()
+				tr := gen(n)
+				if err := tr.Validate(); err != nil {
+					t.Errorf("%s(n=%d): %v", name, n, err)
+				}
+				if tr.Len() != 500 {
+					t.Errorf("%s(n=%d): %d requests, want 500", name, n, tr.Len())
+				}
+			}()
+		}
+	}
+}
+
+func TestZipfResamplesSelfLoopsWithoutSuccessorBias(t *testing.T) {
+	// The old self-loop remap v = 1+v%n redirected every u→u collision onto
+	// u's successor, so P(dst=succ(u) | src=u) absorbed all of u's own
+	// popularity mass on top of succ(u)'s. With resampling, dst given
+	// src=u must follow the sampler's weights restricted to ≠u:
+	// P(dst=v | src=u) = W_v / (1−W_u). The source marginal is a pure
+	// sampler draw in both the old and the new code, so the empirical
+	// source shares estimate W and anchor the check.
+	const n, m = 3, 60000
+	tr := Zipf(n, m, 1.3, 11)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	srcCnt := make([]float64, n+1)
+	pair := make([][]float64, n+1)
+	for u := range pair {
+		pair[u] = make([]float64, n+1)
+	}
+	for _, rq := range tr.Reqs {
+		srcCnt[rq.Src]++
+		pair[rq.Src][rq.Dst]++
+	}
+	w := make([]float64, n+1)
+	for u := 1; u <= n; u++ {
+		w[u] = srcCnt[u] / m
+	}
+	for u := 1; u <= n; u++ {
+		for v := 1; v <= n; v++ {
+			if v == u || srcCnt[u] == 0 {
+				continue
+			}
+			got := pair[u][v] / srcCnt[u]
+			want := w[v] / (1 - w[u])
+			if math.Abs(got-want) > 0.03 {
+				t.Errorf("P(dst=%d|src=%d) = %.3f, want ≈ %.3f (W restricted to ≠src); successor-remap bias?",
+					v, u, got, want)
+			}
+		}
+	}
 }
 
 func TestDeterminism(t *testing.T) {
