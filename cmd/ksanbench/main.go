@@ -1,9 +1,12 @@
 // Command ksanbench regenerates the tables and figures of the paper's
-// evaluation (Section 5) and the appendix observations.
+// evaluation (Section 5) and the appendix observations, and runs arbitrary
+// user-defined experiment grids from JSON files.
 //
 // Usage:
 //
 //	ksanbench [-scale quick|default|paper] [-only 1,2,...,8|remark10|lemma9|entropy|ablations]
+//	          [-workers N] [-timeout 30m] [-progress]
+//	ksanbench -experiment file.json [-format table|json|csv]
 //	          [-workers N] [-timeout 30m] [-progress]
 //
 // With no -only flag the whole suite runs in paper order. Scales differ in
@@ -12,6 +15,16 @@
 // experiment engine's worker pool (default: GOMAXPROCS), -timeout aborts a
 // run that exceeds the deadline (partial tables are flushed), and
 // -progress streams per-section completion lines to stderr.
+//
+// With -experiment, the paper suite is skipped and the grid described by
+// the JSON experiment document runs instead: every network def × every
+// trace def under the file's engine options (see DESIGN.md §6 for the
+// schema, testdata/experiment.json for a sample, and EXPERIMENTS.md for a
+// walkthrough). -workers overrides the file's worker bound. -format picks
+// the result encoding: "table" renders an aligned summary table once the
+// grid drains, "json" emits one JSON object per cell (JSON Lines, window
+// time-series included) as cells finish, "csv" emits tidy CSV rows (one
+// "cell" row per cell plus one "window" row per time-series sample).
 package main
 
 import (
@@ -31,19 +44,33 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size for the experiment engine (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	progress := flag.Bool("progress", false, "stream per-section progress lines to stderr")
+	experiment := flag.String("experiment", "", "run the grid from this JSON experiment file instead of the paper suite")
+	format := flag.String("format", "table", "result format for -experiment runs: table, json or csv")
 	flag.Parse()
-
-	sc, err := experiments.ScaleByName(*scale)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *experiment != "" {
+		if err := runExperiment(ctx, *experiment, *format, *workers, *progress); err != nil {
+			fmt.Fprintln(os.Stderr, "ksanbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *format != "table" {
+		fmt.Fprintln(os.Stderr, "ksanbench: -format requires -experiment (the paper suite always renders tables)")
+		os.Exit(2)
+	}
+
+	sc, err := experiments.ScaleByName(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	opt := experiments.Options{Workers: *workers}
 	if *progress {

@@ -2,11 +2,20 @@
 // verify that the search property (and hence greedy local routing) holds
 // throughout. This walks the node model of Figure 1 and the rotations of
 // Figures 3–6 on a 15-node network.
+//
+// The second half demonstrates the declarative experiment flow: an
+// Experiment document (networks × traces as data, not closures) is
+// encoded to a JSON file, decoded back — exactly what `ksanbench
+// -experiment file.json` does — and streamed cell by cell.
 package main
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	"github.com/ksan-net/ksan"
 )
@@ -42,4 +51,59 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("greedy search path from root to 13: %v\n", path)
+
+	declarative()
+}
+
+// declarative runs the same kind of comparison as a serializable
+// experiment document: written to a file, decoded back, and streamed.
+func declarative() {
+	x := &ksan.Experiment{
+		Name: "quickstart",
+		Networks: []ksan.NetworkDef{
+			{Kind: "kary", K: 3},
+			{Kind: "splaynet"},
+			{Kind: "full", K: 3},
+		},
+		Traces: []ksan.TraceDef{
+			{Kind: "temporal", N: 63, M: 20_000, P: 0.75, Seed: 1},
+			{Kind: "zipf", N: 63, M: 20_000, S: 1.2, Seed: 1},
+		},
+	}
+
+	// Experiments are data: this file is what ksanbench -experiment runs.
+	file := filepath.Join(os.TempDir(), "quickstart-experiment.json")
+	var buf bytes.Buffer
+	if err := x.Encode(&buf); err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(file, buf.Bytes(), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexperiment document written to %s:\n%s", file, buf.String())
+
+	f, err := os.Open(file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	back, err := ksan.DecodeExperiment(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nets, traces, opts, err := back.Resolve()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stream delivers cells as they finish; (I, J) index the grid.
+	fmt.Println("streamed results (completion order):")
+	for c, err := range ksan.Stream(context.Background(), nets, traces, opts...) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := c.Result
+		fmt.Printf("  cell (%d,%d) %-14s on %-13s avg routing %.3f, p99 %.0f\n",
+			c.I, c.J, r.Name, r.Trace, r.AvgRouting(), r.P99Routing)
+	}
 }

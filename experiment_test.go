@@ -1,0 +1,193 @@
+package ksan
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The serialization contract of the declarative API: testdata/
+// experiment.json is the canonical golden document (also run by CI through
+// ksanbench -experiment and shown in EXPERIMENTS.md). Decoding it must
+// yield exactly the struct below, and re-encoding must reproduce the file
+// byte for byte.
+
+func goldenExperiment() *Experiment {
+	return &Experiment{
+		Name: "quick-kary-sweep",
+		Networks: []NetworkDef{
+			{Kind: "kary", K: 2},
+			{Kind: "kary", K: 4},
+			{Kind: "centroid", K: 2},
+			{Kind: "splaynet"},
+			{Kind: "full", K: 4},
+		},
+		Traces: []TraceDef{
+			{Kind: "temporal", N: 127, M: 20000, P: 0.75, Seed: 42},
+			{Kind: "uniform", N: 127, M: 20000, Seed: 1},
+			{Kind: "zipf", N: 127, M: 20000, S: 1.2, Seed: 7},
+		},
+		Engine: EngineDef{Window: 5000},
+	}
+}
+
+func TestExperimentGoldenDocument(t *testing.T) {
+	raw, err := os.ReadFile("testdata/experiment.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeExperiment(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := goldenExperiment()
+	if !reflect.DeepEqual(decoded, want) {
+		t.Fatalf("decoded document diverges from the golden struct:\n%+v\nvs\n%+v", decoded, want)
+	}
+	var buf bytes.Buffer
+	if err := want.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != string(raw) {
+		t.Fatalf("Encode does not reproduce testdata/experiment.json byte for byte:\n%s\nvs\n%s", buf.String(), raw)
+	}
+}
+
+func TestExperimentFileMatchesHandWrittenGrid(t *testing.T) {
+	// The acceptance contract: a grid defined purely in the JSON file must
+	// produce the same cells as the equivalent hand-written closure grid.
+	// The golden trace (127 nodes, temporal 0.75, seed 42) appears in both,
+	// so this also ties the file-driven path to golden_test.go's values.
+	f, err := os.Open("testdata/experiment.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	x, err := DecodeExperiment(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x.Traces = x.Traces[:1]     // the golden trace only
+	x.Traces[0].M = 50_000      // golden_test.go's length
+	x.Networks = x.Networks[:2] // 2-ary and 4-ary SplayNet
+	x.Engine = EngineDef{}      // plain aggregates
+	nets, traces, opts, err := x.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := RunGrid(context.Background(), nets, traces, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := goldenTrace()
+	for i, k := range []int{2, 4} {
+		net, err := NewKArySplayNet(127, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Run(net, tr.Reqs)
+		if grid[i][0].Result != want {
+			t.Errorf("file-driven %d-ary cell %+v != hand-written %+v", k, grid[i][0].Result, want)
+		}
+	}
+	// And the hardcoded golden value, so file-driven results cannot drift
+	// together with the wrapper.
+	if got := grid[1][0].Result; got.Routing != 123648 || got.Adjust != 82864 {
+		t.Errorf("4-ary golden drift: %+v", got)
+	}
+}
+
+func TestStreamCollectsToRunGrid(t *testing.T) {
+	// Stream cells merged by (I, J) must equal RunGrid bit for bit, across
+	// worker counts, through the public API.
+	nets := []NetworkSpec{
+		{Name: "4-ary", Make: func(n int) Network { net, _ := NewKArySplayNet(n, 4); return net }},
+		{Name: "splay", Make: func(n int) Network { net, _ := NewSplayNet(n); return net }},
+	}
+	traces := []TraceSpec{
+		TraceSpecOf(TemporalWorkload(64, 8000, 0.6, 3)),
+		TraceSpecOf(UniformWorkload(64, 6000, 4)),
+	}
+	ref, err := RunGrid(context.Background(), nets, traces, WithWindow(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		got := make([][]EngineResult, len(nets))
+		for i := range got {
+			got[i] = make([]EngineResult, len(traces))
+		}
+		n := 0
+		for c, err := range Stream(context.Background(), nets, traces, WithWindow(1000), WithWorkers(workers)) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			got[c.I][c.J] = c.Result
+			n++
+		}
+		if n != len(nets)*len(traces) {
+			t.Fatalf("stream yielded %d cells", n)
+		}
+		for i := range ref {
+			for j := range ref[i] {
+				if !reflect.DeepEqual(got[i][j].Stripped(), ref[i][j].Stripped()) {
+					t.Errorf("workers=%d cell (%d,%d): stream %+v != grid %+v",
+						workers, i, j, got[i][j].Stripped(), ref[i][j].Stripped())
+				}
+			}
+		}
+	}
+}
+
+func TestRegisterDuplicateKindPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "already registered") {
+			t.Fatalf("panic %v lacks a clear message", r)
+		}
+	}()
+	RegisterNetwork("kary", func(NetworkDef) (NetworkSpec, error) { return NetworkSpec{}, nil })
+}
+
+func TestUnknownKindRejectedAtDecode(t *testing.T) {
+	in := `{"networks":[{"kind":"quantum"}],"traces":[{"kind":"uniform","n":8,"m":10}]}`
+	_, err := DecodeExperiment(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("unknown network kind decoded")
+	}
+	if !strings.Contains(err.Error(), "quantum") || !strings.Contains(err.Error(), "kary") {
+		t.Errorf("error %q should name the unknown kind and list registered ones", err)
+	}
+}
+
+func TestPublicKindListings(t *testing.T) {
+	nk, tk := NetworkKinds(), TraceKinds()
+	for _, want := range []string{"kary", "centroid", "splaynet", "lazy", "full"} {
+		found := false
+		for _, k := range nk {
+			if k == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("network kinds %v missing %q", nk, want)
+		}
+	}
+	for _, want := range []string{"uniform", "temporal", "csv"} {
+		found := false
+		for _, k := range tk {
+			if k == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("trace kinds %v missing %q", tk, want)
+		}
+	}
+}

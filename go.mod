@@ -1,3 +1,3 @@
 module github.com/ksan-net/ksan
 
-go 1.21
+go 1.23

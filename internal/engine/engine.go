@@ -270,7 +270,11 @@ func (e *Engine) runSequential(ctx context.Context, net sim.Network, reqs []sim.
 // runBatch evaluates a batch-capable (static) network: the warmup prefix
 // and then the measured region, the latter cut into chunks — window-sized
 // when a time-series is requested, load-balancing-sized otherwise — that
-// the worker pool serves concurrently and merges back in order.
+// the worker pool serves concurrently and merges back in order. Workers
+// emit progress as their chunks complete (cumulative served count, made
+// monotone by taking the counter update and the emit under one lock); the
+// post-barrier merge loop used to be the only emitter, so batch runs
+// reported nothing until every shard had finished.
 func (e *Engine) runBatch(ctx context.Context, bs sim.BatchServer, reqs []sim.Request, warm int, res *Result, emit func(Progress), shardWorkers int) ([]int64, error) {
 	if warm > 0 {
 		bc := bs.ServeBatch(reqs[:warm])
@@ -295,6 +299,8 @@ func (e *Engine) runBatch(ctx context.Context, bs sim.BatchServer, reqs []sim.Re
 	nchunks := (len(measured) + chunk - 1) / chunk
 	costs := make([]sim.BatchCost, nchunks)
 	done := make([]bool, nchunks)
+	var pmu sync.Mutex
+	var completed int
 	perr := ParallelFor(ctx, shardWorkers, nchunks, func(i int) error {
 		lo := i * chunk
 		hi := lo + chunk
@@ -303,6 +309,12 @@ func (e *Engine) runBatch(ctx context.Context, bs sim.BatchServer, reqs []sim.Re
 		}
 		costs[i] = bs.ServeBatch(measured[lo:hi])
 		done[i] = true
+		if e.progress != nil {
+			pmu.Lock()
+			completed += hi - lo
+			emit(Progress{Requests: warm + completed})
+			pmu.Unlock()
+		}
 		return nil
 	})
 	// Merge the completed prefix in order, so a cancelled run still
@@ -319,7 +331,6 @@ func (e *Engine) runBatch(ctx context.Context, bs sim.BatchServer, reqs []sim.Re
 			res.Series = append(res.Series, WindowSample{Start: lo, End: hi, Routing: costs[i].Routing, Adjust: costs[i].Adjust})
 		}
 		total.Merge(costs[i])
-		emit(Progress{Requests: warm + hi})
 	}
 	res.Routing = total.Routing
 	res.Adjust = total.Adjust

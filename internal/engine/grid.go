@@ -2,7 +2,6 @@ package engine
 
 import (
 	"context"
-	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -27,51 +26,49 @@ type TraceSpec struct {
 	Reqs []sim.Request
 }
 
+// FailedNetwork lets a NetworkSpec.Make deliver a construction error
+// despite its error-free signature: return FailedNetwork(err) instead of
+// nil and the grid reports err as the cell's error (a plain nil return
+// still works but yields only a generic message).
+func FailedNetwork(err error) sim.Network { return &failedNetwork{err: err} }
+
+// failedNetwork is inert: the engine unwraps it before serving anything.
+type failedNetwork struct{ err error }
+
+func (f *failedNetwork) Name() string { return "failed" }
+func (f *failedNetwork) N() int       { return 0 }
+func (f *failedNetwork) Serve(u, v int) sim.Cost {
+	panic("engine: Serve on a failed network: " + f.err.Error())
+}
+
 // RunGrid evaluates the full cross product of networks × traces on the
 // engine's bounded worker pool and returns results indexed as
 // out[network][trace]. Output is deterministic: cell (i,j) always holds
 // the result of serving traces[j] on a fresh networks[i] instance,
 // regardless of worker count or scheduling. On cancellation the first
 // error is returned along with the grid; cells that never ran hold zero
-// Results.
+// Results. It is the barrier form of Stream: cells are collected by their
+// (I, J) indices and the first cell error (or ctx.Err()) is surfaced after
+// the stream drains.
 func (e *Engine) RunGrid(ctx context.Context, networks []NetworkSpec, traces []TraceSpec) ([][]Result, error) {
 	out := make([][]Result, len(networks))
 	for i := range out {
 		out[i] = make([]Result, len(traces))
 	}
-	cells := len(networks) * len(traces)
-	if cells == 0 {
+	if len(networks)*len(traces) == 0 {
 		return out, nil
 	}
-	var cellsDone atomic.Int64
-	perr := ParallelFor(ctx, e.workers, cells, func(c int) error {
-		i, j := c/len(traces), c%len(traces)
-		spec, tr := networks[i], traces[j]
-		net := spec.Make(tr.N)
-		if net == nil {
-			return fmt.Errorf("engine: network %q returned nil for n=%d", spec.Name, tr.N)
+	var firstErr error
+	for c, err := range e.Stream(ctx, networks, traces) {
+		out[c.I][c.J] = c.Result
+		if err != nil && firstErr == nil {
+			firstErr = err
 		}
-		res, err := e.runOne(ctx, net, tr.Reqs, tr.Name, func(p *Progress) {
-			p.Cells = int(cellsDone.Load())
-			p.CellsTotal = cells
-		}, 1)
-		out[i][j] = res
-		if err != nil {
-			return err
-		}
-		n := cellsDone.Add(1)
-		if e.progress != nil {
-			e.mu.Lock()
-			e.progress(Progress{
-				Network: res.Name, Trace: tr.Name,
-				Requests: len(tr.Reqs), Total: len(tr.Reqs),
-				Cells: int(n), CellsTotal: cells,
-			})
-			e.mu.Unlock()
-		}
-		return nil
-	})
-	return out, perr
+	}
+	if firstErr != nil {
+		return out, firstErr
+	}
+	return out, ctx.Err()
 }
 
 // ParallelFor runs body(i) for every i in [0,n) on up to workers

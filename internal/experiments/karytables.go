@@ -5,9 +5,8 @@ import (
 	"fmt"
 
 	"github.com/ksan-net/ksan/internal/engine"
-	"github.com/ksan-net/ksan/internal/karynet"
 	"github.com/ksan-net/ksan/internal/report"
-	"github.com/ksan-net/ksan/internal/sim"
+	"github.com/ksan-net/ksan/internal/spec"
 	"github.com/ksan-net/ksan/internal/statictree"
 	"github.com/ksan-net/ksan/internal/workload"
 )
@@ -64,13 +63,15 @@ func KAryTableCtx(ctx context.Context, eng *engine.Engine, title string, tr work
 	}
 	d := workload.DemandFromTrace(tr)
 
+	// The k sweep is one declarative grid, built from serializable network
+	// defs (the same resolution path a user experiment file takes).
 	nets := make([]engine.NetworkSpec, len(sc.Ks))
 	for i, k := range sc.Ks {
-		k := k
-		nets[i] = engine.NetworkSpec{
-			Name: fmt.Sprintf("%d-ary SplayNet", k),
-			Make: func(n int) sim.Network { return karynet.MustNew(n, k) },
+		ns, err := spec.NetworkDef{Kind: "kary", K: k}.Spec()
+		if err != nil {
+			return res, err
 		}
+		nets[i] = ns
 	}
 	grid, err := eng.RunGrid(ctx, nets, []engine.TraceSpec{traceSpec(tr)})
 	if err != nil {

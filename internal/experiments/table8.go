@@ -4,11 +4,9 @@ import (
 	"context"
 	"fmt"
 
-	"github.com/ksan-net/ksan/internal/centroidnet"
 	"github.com/ksan-net/ksan/internal/engine"
 	"github.com/ksan-net/ksan/internal/report"
-	"github.com/ksan-net/ksan/internal/sim"
-	"github.com/ksan-net/ksan/internal/splaynet"
+	"github.com/ksan-net/ksan/internal/spec"
 	"github.com/ksan-net/ksan/internal/statictree"
 	"github.com/ksan-net/ksan/internal/workload"
 )
@@ -52,9 +50,15 @@ func Table8Ctx(ctx context.Context, eng *engine.Engine, w Workloads, sc Scale) (
 	for _, p := range TemporalPs {
 		traces = append(traces, namedSpec(fmt.Sprintf("Temporal %.2f", p), w.Temporals[p]))
 	}
-	nets := []engine.NetworkSpec{
-		{Name: "3-SplayNet", Make: func(n int) sim.Network { return centroidnet.MustNew(n, 2) }},
-		{Name: "SplayNet", Make: func(n int) sim.Network { return splaynet.MustNew(n) }},
+	// The two self-adjusting rows come from serializable network defs (the
+	// same resolution path a user experiment file takes).
+	nets := make([]engine.NetworkSpec, 2)
+	for i, d := range []spec.NetworkDef{{Kind: "centroid", K: 2}, {Kind: "splaynet"}} {
+		ns, err := d.Spec()
+		if err != nil {
+			return nil, report.Table{}, err
+		}
+		nets[i] = ns
 	}
 
 	rows := make([]Table8Row, len(traces))

@@ -20,20 +20,29 @@ func (t *Table) AddRow(cells ...string) {
 	t.Rows = append(t.Rows, cells)
 }
 
-// Render draws the table with aligned columns.
+// Render draws the table with aligned columns. Columns are sized to the
+// widest row, header included: rows with more cells than the header get
+// their extra columns aligned too (they used to be dropped from width
+// computation, misaligning — or for long rows crashing — the output).
 func (t Table) Render() string {
 	var b strings.Builder
 	if t.Title != "" {
 		b.WriteString(t.Title)
 		b.WriteByte('\n')
 	}
-	widths := make([]int, len(t.Header))
+	ncols := len(t.Header)
+	for _, row := range t.Rows {
+		if len(row) > ncols {
+			ncols = len(row)
+		}
+	}
+	widths := make([]int, ncols)
 	for i, h := range t.Header {
 		widths[i] = len(h)
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}

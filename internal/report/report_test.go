@@ -25,6 +25,38 @@ func TestRenderAlignment(t *testing.T) {
 	}
 }
 
+func TestRenderRaggedRows(t *testing.T) {
+	// Regression: rows wider than the header were excluded from width
+	// computation (and rows longer than the header crashed Render). Columns
+	// must be sized to the widest row, wherever the widest cell lives.
+	tb := Table{Title: "R", Header: []string{"name", "v"}}
+	tb.AddRow("a", "1")
+	tb.AddRow("b", "muchwiderthanheader", "extra", "cells")
+	tb.AddRow("c", "2")
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, separator, three data rows
+		t.Fatalf("expected 6 lines, got %d:\n%s", len(lines), out)
+	}
+	// The second column of every row aligns at the same offset, sized by
+	// the ragged row's wide cell.
+	offWide := strings.Index(lines[4], "muchwiderthanheader")
+	if off := strings.Index(lines[3], "1"); off != offWide {
+		t.Errorf("row before the ragged one misaligned: %d vs %d\n%s", off, offWide, out)
+	}
+	if off := strings.Index(lines[5], "2"); off != offWide {
+		t.Errorf("row after the ragged one misaligned: %d vs %d\n%s", off, offWide, out)
+	}
+	// The ragged row's extra cells align into their own columns, and the
+	// separator spans them.
+	if !strings.Contains(lines[4], "extra  cells") {
+		t.Errorf("extra cells not rendered: %q", lines[4])
+	}
+	if len(lines[2]) < strings.Index(lines[4], "cells") {
+		t.Errorf("separator does not span the ragged row:\n%s", out)
+	}
+}
+
 func TestMarkdown(t *testing.T) {
 	tb := Table{Title: "M", Header: []string{"a", "b"}}
 	tb.AddRow("x", "y")

@@ -1,0 +1,178 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/ksan-net/ksan/internal/engine"
+)
+
+// Sink consumes finished grid cells as they stream out of the engine and
+// writes them in a machine-readable format. Implementations buffer; call
+// Flush once after the last cell.
+type Sink interface {
+	Cell(c engine.Cell) error
+	Flush() error
+}
+
+// WindowRecord is one time-series point of a cell record.
+type WindowRecord struct {
+	Start   int   `json:"start"`
+	End     int   `json:"end"`
+	Routing int64 `json:"routing"`
+	Adjust  int64 `json:"adjust"`
+}
+
+// Record is the machine-readable form of one grid cell: the stable
+// external schema of the JSONL sink (and the column set of the CSV sink),
+// deliberately decoupled from the engine's internal Result struct so that
+// adding engine fields is not silently a format change.
+type Record struct {
+	I              int            `json:"i"`
+	J              int            `json:"j"`
+	Network        string         `json:"network"`
+	Trace          string         `json:"trace,omitempty"`
+	Requests       int64          `json:"requests"`
+	Routing        int64          `json:"routing"`
+	Adjust         int64          `json:"adjust"`
+	Total          int64          `json:"total"`
+	AvgRouting     float64        `json:"avg_routing"`
+	WarmupRequests int64          `json:"warmup_requests,omitempty"`
+	WarmupRouting  int64          `json:"warmup_routing,omitempty"`
+	WarmupAdjust   int64          `json:"warmup_adjust,omitempty"`
+	P50Routing     float64        `json:"p50_routing"`
+	P99Routing     float64        `json:"p99_routing"`
+	LinkChurn      int64          `json:"link_churn,omitempty"`
+	ElapsedSeconds float64        `json:"elapsed_seconds"`
+	Throughput     float64        `json:"throughput"`
+	Series         []WindowRecord `json:"series,omitempty"`
+}
+
+// RecordOf flattens a finished cell into the external schema.
+func RecordOf(c engine.Cell) Record {
+	r := c.Result
+	rec := Record{
+		I:              c.I,
+		J:              c.J,
+		Network:        r.Name,
+		Trace:          r.Trace,
+		Requests:       r.Requests,
+		Routing:        r.Routing,
+		Adjust:         r.Adjust,
+		Total:          r.Total(),
+		AvgRouting:     r.AvgRouting(),
+		WarmupRequests: r.WarmupRequests,
+		WarmupRouting:  r.WarmupRouting,
+		WarmupAdjust:   r.WarmupAdjust,
+		P50Routing:     r.P50Routing,
+		P99Routing:     r.P99Routing,
+		LinkChurn:      r.LinkChurn,
+		ElapsedSeconds: r.Elapsed.Seconds(),
+		Throughput:     r.Throughput,
+	}
+	for _, s := range r.Series {
+		rec.Series = append(rec.Series, WindowRecord{Start: s.Start, End: s.End, Routing: s.Routing, Adjust: s.Adjust})
+	}
+	return rec
+}
+
+// JSONLSink writes one JSON object per cell, one per line (JSON Lines),
+// window time-series included. Construct with NewJSONLSink.
+type JSONLSink struct {
+	enc *json.Encoder
+}
+
+// NewJSONLSink constructs a JSONL cell sink on w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Cell writes one cell as a JSON line.
+func (s *JSONLSink) Cell(c engine.Cell) error {
+	if err := s.enc.Encode(RecordOf(c)); err != nil {
+		return fmt.Errorf("report: encoding cell (%d,%d): %w", c.I, c.J, err)
+	}
+	return nil
+}
+
+// Flush is a no-op (the encoder writes through).
+func (s *JSONLSink) Flush() error { return nil }
+
+// csvHeader is the CSV sink's column set. Rows come in two kinds: one
+// "cell" row per finished cell (aggregate columns filled, window_* empty)
+// and, when a time-series window was configured, one "window" row per
+// WindowSample (cell identity plus routing/adjust/window_start/window_end
+// filled) — the tidy long format, so the series survives the flat file.
+var csvHeader = []string{
+	"kind", "i", "j", "network", "trace",
+	"requests", "routing", "adjust", "total", "avg_routing",
+	"warmup_requests", "warmup_routing", "warmup_adjust",
+	"p50_routing", "p99_routing", "link_churn",
+	"elapsed_seconds", "throughput",
+	"window_start", "window_end",
+}
+
+// CSVSink writes cells (and their window time-series) as tidy CSV rows.
+// Construct with NewCSVSink.
+type CSVSink struct {
+	cw     *csv.Writer
+	header bool
+}
+
+// NewCSVSink constructs a CSV cell sink on w; the header row is written
+// with the first cell.
+func NewCSVSink(w io.Writer) *CSVSink {
+	return &CSVSink{cw: csv.NewWriter(w)}
+}
+
+// Cell writes the cell's aggregate row followed by one row per window
+// sample.
+func (s *CSVSink) Cell(c engine.Cell) error {
+	if !s.header {
+		if err := s.cw.Write(csvHeader); err != nil {
+			return fmt.Errorf("report: writing csv header: %w", err)
+		}
+		s.header = true
+	}
+	rec := RecordOf(c)
+	itoa := strconv.Itoa
+	i64 := func(v int64) string { return strconv.FormatInt(v, 10) }
+	f64 := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	row := []string{
+		"cell", itoa(rec.I), itoa(rec.J), rec.Network, rec.Trace,
+		i64(rec.Requests), i64(rec.Routing), i64(rec.Adjust), i64(rec.Total), f64(rec.AvgRouting),
+		i64(rec.WarmupRequests), i64(rec.WarmupRouting), i64(rec.WarmupAdjust),
+		f64(rec.P50Routing), f64(rec.P99Routing), i64(rec.LinkChurn),
+		f64(rec.ElapsedSeconds), f64(rec.Throughput),
+		"", "",
+	}
+	if err := s.cw.Write(row); err != nil {
+		return fmt.Errorf("report: writing cell (%d,%d): %w", c.I, c.J, err)
+	}
+	for _, w := range rec.Series {
+		wrow := []string{
+			"window", itoa(rec.I), itoa(rec.J), rec.Network, rec.Trace,
+			i64(int64(w.End - w.Start)), i64(w.Routing), i64(w.Adjust), i64(w.Routing + w.Adjust), "",
+			"", "", "",
+			"", "", "",
+			"", "",
+			itoa(w.Start), itoa(w.End),
+		}
+		if err := s.cw.Write(wrow); err != nil {
+			return fmt.Errorf("report: writing window row of cell (%d,%d): %w", c.I, c.J, err)
+		}
+	}
+	return nil
+}
+
+// Flush drains the CSV writer's buffer.
+func (s *CSVSink) Flush() error {
+	s.cw.Flush()
+	if err := s.cw.Error(); err != nil {
+		return fmt.Errorf("report: flushing csv: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ksan-net/ksan/internal/engine"
+	"github.com/ksan-net/ksan/internal/sim"
+)
+
+func sampleCell() engine.Cell {
+	return engine.Cell{
+		I: 1, J: 2,
+		Result: engine.Result{
+			Result:         sim.Result{Name: "4-ary SplayNet", Requests: 100, Routing: 250, Adjust: 80},
+			Trace:          "temporal-0.75",
+			WarmupRequests: 10, WarmupRouting: 30, WarmupAdjust: 12,
+			P50Routing: 2, P99Routing: 9,
+			LinkChurn: 640,
+			Series: []engine.WindowSample{
+				{Start: 0, End: 50, Routing: 130, Adjust: 45},
+				{Start: 50, End: 100, Routing: 120, Adjust: 35},
+			},
+			Elapsed:    250 * time.Millisecond,
+			Throughput: 440,
+		},
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	if err := s.Cell(sampleCell()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Cell(engine.Cell{I: 0, J: 0, Result: engine.Result{Result: sim.Result{Name: "full"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want one JSON line per cell, got %d:\n%s", len(lines), buf.String())
+	}
+	var rec Record
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line 1 is not valid JSON: %v", err)
+	}
+	if rec.I != 1 || rec.J != 2 || rec.Network != "4-ary SplayNet" || rec.Trace != "temporal-0.75" {
+		t.Errorf("cell identity lost: %+v", rec)
+	}
+	if rec.Total != 330 || rec.AvgRouting != 2.5 {
+		t.Errorf("derived fields wrong: total %d avg %v", rec.Total, rec.AvgRouting)
+	}
+	if len(rec.Series) != 2 || rec.Series[1] != (WindowRecord{Start: 50, End: 100, Routing: 120, Adjust: 35}) {
+		t.Errorf("window series lost: %+v", rec.Series)
+	}
+	if rec.ElapsedSeconds != 0.25 {
+		t.Errorf("elapsed %v, want seconds", rec.ElapsedSeconds)
+	}
+	// The schema fields the CI sanity check relies on must be present by
+	// name in the raw line.
+	for _, key := range []string{`"network"`, `"trace"`, `"requests"`, `"routing"`, `"adjust"`, `"series"`} {
+		if !strings.Contains(lines[0], key) {
+			t.Errorf("JSONL line missing %s: %s", key, lines[0])
+		}
+	}
+}
+
+func TestCSVSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewCSVSink(&buf)
+	if err := s.Cell(sampleCell()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("sink output is not rectangular CSV: %v", err)
+	}
+	// Header + one cell row + two window rows.
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows:\n%v", len(rows), rows)
+	}
+	col := map[string]int{}
+	for i, name := range rows[0] {
+		col[name] = i
+	}
+	cell := rows[1]
+	if cell[col["kind"]] != "cell" || cell[col["network"]] != "4-ary SplayNet" ||
+		cell[col["routing"]] != "250" || cell[col["total"]] != "330" ||
+		cell[col["link_churn"]] != "640" || cell[col["window_start"]] != "" {
+		t.Errorf("cell row wrong: %v", cell)
+	}
+	w2 := rows[3]
+	if w2[col["kind"]] != "window" || w2[col["window_start"]] != "50" ||
+		w2[col["window_end"]] != "100" || w2[col["routing"]] != "120" ||
+		w2[col["i"]] != "1" || w2[col["j"]] != "2" {
+		t.Errorf("window row wrong: %v", w2)
+	}
+}
+
+func TestCSVSinkWritesHeaderOnce(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewCSVSink(&buf)
+	for i := 0; i < 3; i++ {
+		c := sampleCell()
+		c.Result.Series = nil
+		if err := s.Cell(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "kind,i,j"); got != 1 {
+		t.Errorf("header written %d times", got)
+	}
+}

@@ -1,0 +1,551 @@
+// Package spec is the declarative, serializable experiment layer: it turns
+// the engine's closure-based grid inputs (engine.NetworkSpec, whose Make is
+// a Go function, and engine.TraceSpec, whose Reqs the caller must
+// pre-materialize) into data. A NetworkDef or TraceDef is a small JSON
+// document naming a registered kind plus its parameters; an Experiment
+// composes the two sides with serializable engine options into a complete
+// grid description that can be written to a file, diffed, shipped, and
+// re-run bit-identically (every builtin resolves through the same
+// deterministic constructors and generators the hand-written paper suite
+// uses).
+//
+// The taxonomy mirrors the input/algorithm/metric framing of the
+// self-adjusting-networks program (Avin & Schmid, "Toward Demand-Aware
+// Networking"): network defs are the algorithms, trace defs the inputs,
+// and the engine options select the metrics surface. Both sides are open:
+// RegisterNetwork and RegisterTrace add new kinds at init time, so
+// downstream code can make its own designs and workloads file-addressable.
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"github.com/ksan-net/ksan/internal/centroidnet"
+	"github.com/ksan-net/ksan/internal/engine"
+	"github.com/ksan-net/ksan/internal/karynet"
+	"github.com/ksan-net/ksan/internal/lazynet"
+	"github.com/ksan-net/ksan/internal/sim"
+	"github.com/ksan-net/ksan/internal/splaynet"
+	"github.com/ksan-net/ksan/internal/statictree"
+	"github.com/ksan-net/ksan/internal/workload"
+)
+
+// NetworkDef declares one network design by registered kind. The builtin
+// kinds and the parameters they read:
+//
+//	kary      — the k-ary SplayNet (K ≥ 2)
+//	centroid  — the centroid-based (K+1)-SplayNet (K ≥ 2)
+//	splaynet  — the binary SplayNet baseline (no parameters)
+//	lazy      — the partially reactive network (K ≥ 2, Alpha > 0)
+//	full      — the static weakly-complete k-ary tree (K ≥ 2)
+//	centroid-tree — the static centroid k-ary tree (K ≥ 2)
+//	uniform-opt   — the static uniform-optimal k-ary tree (K ≥ 2)
+//
+// Name optionally overrides the grid label (progress events); the network's
+// own Name() still labels results, except for the static kinds, whose
+// wrapped tree takes the label as its name.
+type NetworkDef struct {
+	Kind  string `json:"kind"`
+	Name  string `json:"name,omitempty"`
+	K     int    `json:"k,omitempty"`
+	Alpha int64  `json:"alpha,omitempty"`
+}
+
+// TraceDef declares one workload trace by registered kind. The builtin
+// kinds and the parameters they read (all require N ≥ 2 and M ≥ 1):
+//
+//	uniform   — Uniform(N, M, Seed)
+//	temporal  — Temporal(N, M, P, Seed), P in [0,1)
+//	hpc       — HPCLike(N, M, Seed)
+//	projector — ProjecToRLike(N, M, Seed)
+//	facebook  — FacebookLike(N, M, Seed)
+//	zipf      — Zipf(N, M, S, Seed), S > 0
+//	csv       — a trace file written by workload.WriteCSV, read from Path
+//	            (N and M come from the file)
+//
+// Name optionally overrides the trace's report label.
+type TraceDef struct {
+	Kind string  `json:"kind"`
+	Name string  `json:"name,omitempty"`
+	N    int     `json:"n,omitempty"`
+	M    int     `json:"m,omitempty"`
+	P    float64 `json:"p,omitempty"`
+	S    float64 `json:"s,omitempty"`
+	Seed int64   `json:"seed,omitempty"`
+	Path string  `json:"path,omitempty"`
+}
+
+// EngineDef is the serializable subset of the engine's options. Zero
+// values mean "engine default" (GOMAXPROCS workers, no warmup, no window,
+// churn tracking off).
+type EngineDef struct {
+	Workers   int  `json:"workers,omitempty"`
+	Warmup    int  `json:"warmup,omitempty"`
+	Window    int  `json:"window,omitempty"`
+	LinkChurn bool `json:"link_churn,omitempty"`
+}
+
+// Experiment is a complete grid description: every network × every trace,
+// evaluated under the engine options. It is the unit of serialization —
+// Encode/Decode round-trip it through JSON.
+type Experiment struct {
+	Name     string       `json:"name,omitempty"`
+	Networks []NetworkDef `json:"networks"`
+	Traces   []TraceDef   `json:"traces"`
+	Engine   EngineDef    `json:"engine,omitempty"`
+}
+
+// NetworkBuilder resolves a def of its registered kind to a grid spec. It
+// must validate the def's parameters eagerly and return a spec whose Make
+// is cheap to call once per grid cell.
+type NetworkBuilder func(NetworkDef) (engine.NetworkSpec, error)
+
+// TraceBuilder materializes a def of its registered kind into a trace. It
+// is called exactly once per Experiment resolution, however many grid
+// cells share the trace.
+type TraceBuilder func(TraceDef) (workload.Trace, error)
+
+var (
+	regMu    sync.RWMutex
+	networks = map[string]NetworkBuilder{}
+	traces   = map[string]TraceBuilder{}
+	trChecks = map[string]func(TraceDef) error{}
+)
+
+// RegisterNetwork adds a network kind. It panics on an empty kind, a nil
+// builder, or a duplicate registration (like http.Handle and sql.Register,
+// registration errors are programmer errors caught at init time).
+func RegisterNetwork(kind string, build NetworkBuilder) {
+	if kind == "" || build == nil {
+		panic("spec: RegisterNetwork with empty kind or nil builder")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := networks[kind]; dup {
+		panic(fmt.Sprintf("spec: network kind %q already registered", kind))
+	}
+	networks[kind] = build
+}
+
+// RegisterTrace adds a trace kind. It panics on an empty kind, a nil
+// builder, or a duplicate registration.
+func RegisterTrace(kind string, build TraceBuilder) {
+	if kind == "" || build == nil {
+		panic("spec: RegisterTrace with empty kind or nil builder")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := traces[kind]; dup {
+		panic(fmt.Sprintf("spec: trace kind %q already registered", kind))
+	}
+	traces[kind] = build
+}
+
+// NetworkKinds returns the registered network kinds, sorted.
+func NetworkKinds() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return sortedKeys(networks)
+}
+
+// TraceKinds returns the registered trace kinds, sorted.
+func TraceKinds() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return sortedKeys(traces)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Spec resolves the def through the registry to the engine's grid input.
+func (d NetworkDef) Spec() (engine.NetworkSpec, error) {
+	regMu.RLock()
+	build, ok := networks[d.Kind]
+	regMu.RUnlock()
+	if !ok {
+		return engine.NetworkSpec{}, fmt.Errorf("spec: unknown network kind %q (registered: %v)", d.Kind, NetworkKinds())
+	}
+	ns, err := build(d)
+	if err != nil {
+		return engine.NetworkSpec{}, err
+	}
+	if d.Name != "" {
+		ns.Name = d.Name
+	}
+	return ns, nil
+}
+
+// Materialize resolves the def through the registry and generates (or
+// loads) the trace.
+func (d TraceDef) Materialize() (workload.Trace, error) {
+	regMu.RLock()
+	build, ok := traces[d.Kind]
+	regMu.RUnlock()
+	if !ok {
+		return workload.Trace{}, fmt.Errorf("spec: unknown trace kind %q (registered: %v)", d.Kind, TraceKinds())
+	}
+	tr, err := build(d)
+	if err != nil {
+		return workload.Trace{}, err
+	}
+	if d.Name != "" {
+		tr.Name = d.Name
+	}
+	return tr, nil
+}
+
+// check validates a trace def without materializing it, where the kind
+// registered a checker (all builtins do). Custom kinds without a checker
+// validate at Materialize time.
+func (d TraceDef) check() error {
+	regMu.RLock()
+	_, known := traces[d.Kind]
+	chk := trChecks[d.Kind]
+	regMu.RUnlock()
+	if !known {
+		return fmt.Errorf("spec: unknown trace kind %q (registered: %v)", d.Kind, TraceKinds())
+	}
+	if chk != nil {
+		return chk(d)
+	}
+	return nil
+}
+
+// Validate checks the document is well-formed without materializing any
+// trace: both sides non-empty, engine fields non-negative, every kind
+// registered, and every builtin def's parameters in range.
+func (x *Experiment) Validate() error {
+	if len(x.Networks) == 0 {
+		return fmt.Errorf("spec: experiment %q has no networks", x.Name)
+	}
+	if len(x.Traces) == 0 {
+		return fmt.Errorf("spec: experiment %q has no traces", x.Name)
+	}
+	if x.Engine.Workers < 0 || x.Engine.Warmup < 0 || x.Engine.Window < 0 {
+		return fmt.Errorf("spec: experiment %q has negative engine options %+v", x.Name, x.Engine)
+	}
+	for i, d := range x.Networks {
+		if _, err := d.Spec(); err != nil {
+			return fmt.Errorf("networks[%d]: %w", i, err)
+		}
+	}
+	for j, d := range x.Traces {
+		if err := d.check(); err != nil {
+			return fmt.Errorf("traces[%d]: %w", j, err)
+		}
+	}
+	return nil
+}
+
+// Options converts the serializable engine options into engine.Options.
+func (d EngineDef) Options() []engine.Option {
+	var opts []engine.Option
+	if d.Workers > 0 {
+		opts = append(opts, engine.WithWorkers(d.Workers))
+	}
+	if d.Warmup > 0 {
+		opts = append(opts, engine.WithWarmup(d.Warmup))
+	}
+	if d.Window > 0 {
+		opts = append(opts, engine.WithWindow(d.Window))
+	}
+	if d.LinkChurn {
+		opts = append(opts, engine.WithLinkChurn(true))
+	}
+	return opts
+}
+
+// Resolve validates the document and turns it into the engine's grid
+// inputs. Each trace def is materialized exactly once, however many grid
+// cells (one per network) will serve it.
+func (x *Experiment) Resolve() ([]engine.NetworkSpec, []engine.TraceSpec, []engine.Option, error) {
+	if err := x.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	nets := make([]engine.NetworkSpec, len(x.Networks))
+	for i, d := range x.Networks {
+		ns, err := d.Spec()
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("networks[%d]: %w", i, err)
+		}
+		nets[i] = ns
+	}
+	trs := make([]engine.TraceSpec, len(x.Traces))
+	for j, d := range x.Traces {
+		tr, err := d.Materialize()
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("traces[%d]: %w", j, err)
+		}
+		trs[j] = engine.TraceSpec{Name: tr.Name, N: tr.N, Reqs: tr.Reqs}
+	}
+	return nets, trs, x.Engine.Options(), nil
+}
+
+// Encode writes the document as indented JSON (the canonical on-disk
+// form: Decode(Encode(x)) round-trips bit-identically).
+func (x *Experiment) Encode(w io.Writer) error {
+	b, err := json.MarshalIndent(x, "", "  ")
+	if err != nil {
+		return fmt.Errorf("spec: encoding experiment %q: %w", x.Name, err)
+	}
+	b = append(b, '\n')
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("spec: writing experiment %q: %w", x.Name, err)
+	}
+	return nil
+}
+
+// Decode parses and validates an experiment document. Unknown fields and
+// trailing content after the document are rejected, so typos and botched
+// merges fail loudly instead of silently running a different grid.
+func Decode(r io.Reader) (*Experiment, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var x Experiment
+	if err := dec.Decode(&x); err != nil {
+		return nil, fmt.Errorf("spec: decoding experiment: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("spec: trailing data after the experiment document")
+	}
+	if err := x.Validate(); err != nil {
+		return nil, err
+	}
+	return &x, nil
+}
+
+// --- builtin kinds ---
+
+// registerBuiltinNetwork wraps the builder with an eager parameter check,
+// so Experiment.Validate (which calls Spec and discards the result) can
+// reject bad builtin defs before any grid runs.
+func registerBuiltinNetwork(kind string, check func(NetworkDef) error, build NetworkBuilder) {
+	RegisterNetwork(kind, func(d NetworkDef) (engine.NetworkSpec, error) {
+		if err := check(d); err != nil {
+			return engine.NetworkSpec{}, err
+		}
+		return build(d)
+	})
+}
+
+func registerBuiltinTrace(kind string, check func(TraceDef) error, build TraceBuilder) {
+	RegisterTrace(kind, func(d TraceDef) (workload.Trace, error) {
+		if err := check(d); err != nil {
+			return workload.Trace{}, err
+		}
+		return build(d)
+	})
+	regMu.Lock()
+	trChecks[kind] = check
+	regMu.Unlock()
+}
+
+// Builtin checks are strict both ways: required parameters must be in
+// range AND parameters the kind does not read must stay zero — a set-but-
+// ignored field means the document describes a different experiment than
+// the one that would run, the same failure mode DisallowUnknownFields
+// guards against at the JSON layer.
+
+func needK(kind string) func(NetworkDef) error {
+	return func(d NetworkDef) error {
+		if d.K < 2 {
+			return fmt.Errorf("spec: network kind %q needs k >= 2, got %d", kind, d.K)
+		}
+		if d.Alpha != 0 {
+			return fmt.Errorf("spec: network kind %q does not read alpha (got %d)", kind, d.Alpha)
+		}
+		return nil
+	}
+}
+
+func noParams(kind string) func(NetworkDef) error {
+	return func(d NetworkDef) error {
+		if d.K != 0 || d.Alpha != 0 {
+			return fmt.Errorf("spec: network kind %q takes no parameters, got k=%d alpha=%d", kind, d.K, d.Alpha)
+		}
+		return nil
+	}
+}
+
+// genCheck validates the shared generator parameters (every builtin trace
+// generator needs at least two nodes to form a self-loop-free pair) and
+// rejects set-but-unread ones: wantP/wantS mark the kinds that read the
+// temporal parameter p and the skew parameter s.
+func genCheck(kind string, wantP, wantS bool) func(TraceDef) error {
+	return func(d TraceDef) error {
+		if d.N < 2 {
+			return fmt.Errorf("spec: trace kind %q needs n >= 2, got %d", kind, d.N)
+		}
+		if d.M < 1 {
+			return fmt.Errorf("spec: trace kind %q needs m >= 1, got %d", kind, d.M)
+		}
+		if d.Path != "" {
+			return fmt.Errorf("spec: trace kind %q does not read path (got %q)", kind, d.Path)
+		}
+		switch {
+		case wantP && (d.P < 0 || d.P >= 1):
+			return fmt.Errorf("spec: trace kind %q needs p in [0,1), got %v", kind, d.P)
+		case !wantP && d.P != 0:
+			return fmt.Errorf("spec: trace kind %q does not read p (got %v)", kind, d.P)
+		}
+		switch {
+		case wantS && d.S <= 0:
+			return fmt.Errorf("spec: trace kind %q needs s > 0, got %v", kind, d.S)
+		case !wantS && d.S != 0:
+			return fmt.Errorf("spec: trace kind %q does not read s (got %v)", kind, d.S)
+		}
+		return nil
+	}
+}
+
+// makeNet adapts an error-returning constructor to NetworkSpec.Make:
+// construction failures (e.g. a def whose arity is incompatible with a
+// trace's node count, knowable only per cell) surface as cell errors
+// carrying the constructor's message via engine.FailedNetwork.
+func makeNet(build func(n int) (sim.Network, error)) func(n int) sim.Network {
+	return func(n int) sim.Network {
+		net, err := build(n)
+		if err != nil {
+			return engine.FailedNetwork(err)
+		}
+		return net
+	}
+}
+
+// staticSpec wraps a tree builder as a batch-capable static network spec.
+func staticSpec(label string, build func(n int) (*statictree.Net, error)) engine.NetworkSpec {
+	return engine.NetworkSpec{Name: label, Make: makeNet(func(n int) (sim.Network, error) {
+		return build(n)
+	})}
+}
+
+func init() {
+	registerBuiltinNetwork("kary", needK("kary"), func(d NetworkDef) (engine.NetworkSpec, error) {
+		k := d.K
+		return engine.NetworkSpec{
+			Name: fmt.Sprintf("%d-ary SplayNet", k),
+			Make: makeNet(func(n int) (sim.Network, error) { return karynet.New(n, k) }),
+		}, nil
+	})
+	registerBuiltinNetwork("centroid", needK("centroid"), func(d NetworkDef) (engine.NetworkSpec, error) {
+		k := d.K
+		return engine.NetworkSpec{
+			Name: fmt.Sprintf("%d-SplayNet", k+1),
+			Make: makeNet(func(n int) (sim.Network, error) { return centroidnet.New(n, k) }),
+		}, nil
+	})
+	registerBuiltinNetwork("splaynet", noParams("splaynet"), func(d NetworkDef) (engine.NetworkSpec, error) {
+		return engine.NetworkSpec{
+			Name: "SplayNet",
+			Make: makeNet(func(n int) (sim.Network, error) { return splaynet.New(n) }),
+		}, nil
+	})
+	registerBuiltinNetwork("lazy", func(d NetworkDef) error {
+		if d.K < 2 {
+			return fmt.Errorf("spec: network kind \"lazy\" needs k >= 2, got %d", d.K)
+		}
+		if d.Alpha < 1 {
+			return fmt.Errorf("spec: network kind \"lazy\" needs alpha >= 1, got %d", d.Alpha)
+		}
+		return nil
+	}, func(d NetworkDef) (engine.NetworkSpec, error) {
+		k, alpha := d.K, d.Alpha
+		return engine.NetworkSpec{
+			Name: fmt.Sprintf("lazy %d-ary α=%d", k, alpha),
+			Make: makeNet(func(n int) (sim.Network, error) { return lazynet.New(n, k, alpha) }),
+		}, nil
+	})
+	registerBuiltinNetwork("full", needK("full"), func(d NetworkDef) (engine.NetworkSpec, error) {
+		k := d.K
+		label := d.Name
+		if label == "" {
+			label = fmt.Sprintf("full %d-ary tree", k)
+		}
+		return staticSpec(label, func(n int) (*statictree.Net, error) {
+			t, err := statictree.Full(n, k)
+			if err != nil {
+				return nil, err
+			}
+			return statictree.NewNet(label, t), nil
+		}), nil
+	})
+	registerBuiltinNetwork("centroid-tree", needK("centroid-tree"), func(d NetworkDef) (engine.NetworkSpec, error) {
+		k := d.K
+		label := d.Name
+		if label == "" {
+			label = fmt.Sprintf("centroid %d-ary tree", k)
+		}
+		return staticSpec(label, func(n int) (*statictree.Net, error) {
+			t, err := statictree.Centroid(n, k)
+			if err != nil {
+				return nil, err
+			}
+			return statictree.NewNet(label, t), nil
+		}), nil
+	})
+	registerBuiltinNetwork("uniform-opt", needK("uniform-opt"), func(d NetworkDef) (engine.NetworkSpec, error) {
+		k := d.K
+		label := d.Name
+		if label == "" {
+			label = fmt.Sprintf("uniform-optimal %d-ary tree", k)
+		}
+		return staticSpec(label, func(n int) (*statictree.Net, error) {
+			t, _, err := statictree.OptimalUniform(n, k)
+			if err != nil {
+				return nil, err
+			}
+			return statictree.NewNet(label, t), nil
+		}), nil
+	})
+
+	registerBuiltinTrace("uniform", genCheck("uniform", false, false), func(d TraceDef) (workload.Trace, error) {
+		return workload.Uniform(d.N, d.M, d.Seed), nil
+	})
+	registerBuiltinTrace("temporal", genCheck("temporal", true, false), func(d TraceDef) (workload.Trace, error) {
+		return workload.Temporal(d.N, d.M, d.P, d.Seed), nil
+	})
+	registerBuiltinTrace("hpc", genCheck("hpc", false, false), func(d TraceDef) (workload.Trace, error) {
+		return workload.HPCLike(d.N, d.M, d.Seed), nil
+	})
+	registerBuiltinTrace("projector", genCheck("projector", false, false), func(d TraceDef) (workload.Trace, error) {
+		return workload.ProjecToRLike(d.N, d.M, d.Seed), nil
+	})
+	registerBuiltinTrace("facebook", genCheck("facebook", false, false), func(d TraceDef) (workload.Trace, error) {
+		return workload.FacebookLike(d.N, d.M, d.Seed), nil
+	})
+	registerBuiltinTrace("zipf", genCheck("zipf", false, true), func(d TraceDef) (workload.Trace, error) {
+		return workload.Zipf(d.N, d.M, d.S, d.Seed), nil
+	})
+	registerBuiltinTrace("csv", func(d TraceDef) error {
+		if d.Path == "" {
+			return fmt.Errorf("spec: trace kind \"csv\" needs a path")
+		}
+		if d.N != 0 || d.M != 0 || d.P != 0 || d.S != 0 || d.Seed != 0 {
+			return fmt.Errorf("spec: trace kind \"csv\" reads only path and name; n/m/p/s/seed come from the file (got n=%d m=%d p=%v s=%v seed=%d)", d.N, d.M, d.P, d.S, d.Seed)
+		}
+		return nil
+	}, func(d TraceDef) (workload.Trace, error) {
+		f, err := os.Open(d.Path)
+		if err != nil {
+			return workload.Trace{}, fmt.Errorf("spec: opening trace file: %w", err)
+		}
+		defer f.Close()
+		tr, err := workload.ReadCSV(f)
+		if err != nil {
+			return workload.Trace{}, fmt.Errorf("spec: %s: %w", d.Path, err)
+		}
+		return tr, nil
+	})
+}

@@ -22,15 +22,24 @@
 //   - a streaming simulation engine with the paper's cost model: the
 //     classic aggregate entry points (Run, RunAll) plus an Engine with
 //     cancellation, warmup windows, cost time-series, routing percentiles
-//     and deterministic parallel grid execution (NewEngine, RunGrid).
+//     and deterministic parallel grid execution (NewEngine, RunGrid) that
+//     can also deliver cells as they finish (Stream);
+//   - a declarative, serializable experiment layer: NetworkDef and
+//     TraceDef name registered kinds plus parameters, compose into an
+//     Experiment document with JSON encode/decode, and resolve to the
+//     engine's grid inputs — experiments are data, written to files,
+//     diffed and re-run (RegisterNetwork and RegisterTrace open the
+//     taxonomy to new designs and workloads).
 //
 // The cmd/ksanbench binary regenerates every table and figure of the
-// paper's evaluation; see DESIGN.md and EXPERIMENTS.md.
+// paper's evaluation, and runs arbitrary user grids from experiment files
+// (-experiment, -format); see DESIGN.md and EXPERIMENTS.md.
 package ksan
 
 import (
 	"context"
 	"io"
+	"iter"
 
 	"github.com/ksan-net/ksan/internal/centroidnet"
 	"github.com/ksan-net/ksan/internal/core"
@@ -38,6 +47,7 @@ import (
 	"github.com/ksan-net/ksan/internal/karynet"
 	"github.com/ksan-net/ksan/internal/lazynet"
 	"github.com/ksan-net/ksan/internal/sim"
+	"github.com/ksan-net/ksan/internal/spec"
 	"github.com/ksan-net/ksan/internal/splaynet"
 	"github.com/ksan-net/ksan/internal/statictree"
 	"github.com/ksan-net/ksan/internal/workload"
@@ -246,6 +256,76 @@ func WithLinkChurn(on bool) EngineOption { return engine.WithLinkChurn(on) }
 func TraceSpecOf(tr Trace) TraceSpec {
 	return TraceSpec{Name: tr.Name, N: tr.N, Reqs: tr.Reqs}
 }
+
+// NetworkDef declares one network design by registered kind — the
+// serializable counterpart of NetworkSpec. Builtin kinds: kary, centroid,
+// splaynet, lazy, full, centroid-tree, uniform-opt; see the field docs on
+// the underlying type for the parameters each reads.
+type NetworkDef = spec.NetworkDef
+
+// TraceDef declares one workload trace by registered kind — the
+// serializable counterpart of TraceSpec. Builtin kinds: uniform, temporal,
+// hpc, projector, facebook, zipf, csv.
+type TraceDef = spec.TraceDef
+
+// EngineDef is the serializable subset of the engine options (workers,
+// warmup, window, link churn); zero values mean engine defaults.
+type EngineDef = spec.EngineDef
+
+// Experiment is a complete, JSON-round-trippable grid description:
+// Networks × Traces evaluated under Engine options. Encode writes the
+// canonical document; DecodeExperiment parses and validates one; Resolve
+// turns it into RunGrid/Stream inputs, materializing each trace exactly
+// once however many grid cells share it.
+type Experiment = spec.Experiment
+
+// Cell is one finished cell of a streamed grid (see Stream).
+type Cell = engine.Cell
+
+// RegisterNetwork adds a network kind to the experiment taxonomy, making
+// custom designs addressable from experiment files. It panics on a
+// duplicate kind (registration is an init-time affair, like sql.Register).
+func RegisterNetwork(kind string, build func(NetworkDef) (NetworkSpec, error)) {
+	spec.RegisterNetwork(kind, build)
+}
+
+// RegisterTrace adds a trace kind to the experiment taxonomy. The builder
+// is called exactly once per experiment resolution. It panics on a
+// duplicate kind.
+func RegisterTrace(kind string, build func(TraceDef) (Trace, error)) {
+	spec.RegisterTrace(kind, build)
+}
+
+// NetworkKinds returns the registered network kinds, sorted.
+func NetworkKinds() []string { return spec.NetworkKinds() }
+
+// TraceKinds returns the registered trace kinds, sorted.
+func TraceKinds() []string { return spec.TraceKinds() }
+
+// DecodeExperiment parses and validates a JSON experiment document (the
+// format Encode writes; unknown fields are rejected).
+func DecodeExperiment(r io.Reader) (*Experiment, error) { return spec.Decode(r) }
+
+// Stream evaluates the cross product of networks × traces on a bounded
+// worker pool and yields each cell as it finishes, in completion order,
+// together with that cell's error (nil, a construction/validation
+// failure, or ctx.Err() alongside the partial result). Cell results are
+// deterministic across worker counts; only completion order is not.
+// Breaking out of the loop stops the evaluation.
+//
+// On cancellation, cells that were never dispatched are not yielded at
+// all: a stream that ends cleanly has covered the whole grid only if ctx
+// is still alive, so — like bufio.Scanner.Err — check ctx.Err() after the
+// loop (RunGrid does exactly that).
+func Stream(ctx context.Context, networks []NetworkSpec, traces []TraceSpec, opts ...EngineOption) iter.Seq2[Cell, error] {
+	return engine.New(opts...).Stream(ctx, networks, traces)
+}
+
+// FailedNetwork lets a custom NetworkSpec.Make (or a RegisterNetwork
+// builder's Make) report a construction error despite Make's error-free
+// signature: return FailedNetwork(err) and the grid yields err as that
+// cell's error instead of a generic nil-network message.
+func FailedNetwork(err error) Network { return engine.FailedNetwork(err) }
 
 // RunGrid evaluates the cross product of networks × traces on a bounded
 // worker pool, deterministically: out[i][j] is networks[i] on traces[j].
