@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	cases := []struct {
+		line string
+		name string
+		e    Entry
+		ok   bool
+	}{
+		{
+			"BenchmarkOptimal/n=512/k=8-8   	       3	 638912698 ns/op	12344544 B/op	    5045 allocs/op",
+			"BenchmarkOptimal/n=512/k=8", Entry{NsPerOp: 638912698, BytesPerOp: 12344544, AllocsPerOp: 5045}, true,
+		},
+		{
+			"BenchmarkServeKAryTemporal-4 	 4316890	       274.2 ns/op	       0 B/op	       0 allocs/op",
+			"BenchmarkServeKAryTemporal", Entry{NsPerOp: 274.2}, true,
+		},
+		{ // no -benchmem columns
+			"BenchmarkFoo 	     100	    105 ns/op",
+			"BenchmarkFoo", Entry{NsPerOp: 105}, true,
+		},
+		{ // only the trailing proc suffix is stripped, inner dashes survive
+			"BenchmarkA/p=-1-8 	 1	 5 ns/op",
+			"BenchmarkA/p=-1", Entry{NsPerOp: 5}, true,
+		},
+		{ // a non-numeric dash suffix is part of the name
+			"BenchmarkA/mode=fast-path 	 1	 5 ns/op",
+			"BenchmarkA/mode=fast-path", Entry{NsPerOp: 5}, true,
+		},
+		{"goos: linux", "", Entry{}, false},
+		{"PASS", "", Entry{}, false},
+		{"ok  	github.com/ksan-net/ksan	0.035s", "", Entry{}, false},
+	}
+	for _, tc := range cases {
+		name, e, ok := parseLine(tc.line)
+		if ok != tc.ok || name != tc.name || e != tc.e {
+			t.Errorf("parseLine(%q) = (%q, %+v, %v), want (%q, %+v, %v)",
+				tc.line, name, e, ok, tc.name, tc.e, tc.ok)
+		}
+	}
+}
+
+func TestParseKeepsMinimum(t *testing.T) {
+	in := `BenchmarkX-8 	 10	 200 ns/op	 8 B/op	 1 allocs/op
+BenchmarkX-8 	 10	 150 ns/op	 8 B/op	 1 allocs/op
+BenchmarkX-8 	 10	 180 ns/op	 8 B/op	 1 allocs/op`
+	b, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := b.Benchmarks["BenchmarkX"]
+	if !ok || e.NsPerOp != 150 {
+		t.Fatalf("got %+v (present=%v), want min ns/op 150", e, ok)
+	}
+	if b.Schema != "ksan-bench/v1" {
+		t.Errorf("schema %q", b.Schema)
+	}
+}

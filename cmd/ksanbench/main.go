@@ -5,9 +5,9 @@
 // Usage:
 //
 //	ksanbench [-scale quick|default|paper] [-only 1,2,...,8|remark10|lemma9|entropy|ablations]
-//	          [-workers N] [-timeout 30m] [-progress]
+//	          [-workers N] [-timeout 30m] [-progress] [-cpuprofile file]
 //	ksanbench -experiment file.json [-format table|json|csv]
-//	          [-workers N] [-timeout 30m] [-progress]
+//	          [-workers N] [-timeout 30m] [-progress] [-cpuprofile file]
 //
 // With no -only flag the whole suite runs in paper order. Scales differ in
 // trace length and node counts; see DESIGN.md §4 for the exact dimensions
@@ -25,6 +25,11 @@
 // grid drains, "json" emits one JSON object per cell (JSON Lines, window
 // time-series included) as cells finish, "csv" emits tidy CSV rows (one
 // "cell" row per cell plus one "window" row per time-series sample).
+//
+// -cpuprofile file writes a pprof CPU profile covering the whole run
+// (whichever mode), for chasing regressions in the BENCH_PR4.json
+// trajectory: `go tool pprof $(which ksanbench) file`. The profile is
+// flushed even when the run fails.
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -46,52 +52,74 @@ func main() {
 	progress := flag.Bool("progress", false, "stream per-section progress lines to stderr")
 	experiment := flag.String("experiment", "", "run the grid from this JSON experiment file instead of the paper suite")
 	format := flag.String("format", "table", "result format for -experiment runs: table, json or csv")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	flag.Parse()
 
+	// All exits funnel through here so the CPU profile (and any future
+	// teardown) survives error paths; os.Exit skips deferred calls.
+	code, err := run(*scale, *only, *workers, *timeout, *progress, *experiment, *format, *cpuprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ksanbench:", err)
+	}
+	os.Exit(code)
+}
+
+func run(scale, only string, workers int, timeout time.Duration, progress bool, experiment, format, cpuprofile string) (int, error) {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return 2, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return 2, err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
 	ctx := context.Background()
-	if *timeout > 0 {
+	if timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
 
-	if *experiment != "" {
-		if err := runExperiment(ctx, *experiment, *format, *workers, *progress); err != nil {
-			fmt.Fprintln(os.Stderr, "ksanbench:", err)
-			os.Exit(1)
+	if experiment != "" {
+		if err := runExperiment(ctx, experiment, format, workers, progress); err != nil {
+			return 1, err
 		}
-		return
+		return 0, nil
 	}
-	if *format != "table" {
-		fmt.Fprintln(os.Stderr, "ksanbench: -format requires -experiment (the paper suite always renders tables)")
-		os.Exit(2)
+	if format != "table" {
+		return 2, fmt.Errorf("-format requires -experiment (the paper suite always renders tables)")
 	}
 
-	sc, err := experiments.ScaleByName(*scale)
+	sc, err := experiments.ScaleByName(scale)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2, err
 	}
-	opt := experiments.Options{Workers: *workers}
-	if *progress {
+	opt := experiments.Options{Workers: workers}
+	if progress {
 		start := time.Now()
 		opt.Progress = func(section string) {
 			fmt.Fprintf(os.Stderr, "[%8s] %s\n", time.Since(start).Round(time.Millisecond), section)
 		}
 	}
 
-	if *only == "" {
+	if only == "" {
 		if err := experiments.RunSuite(ctx, os.Stdout, sc, opt); err != nil {
-			fmt.Fprintln(os.Stderr, "ksanbench:", err)
-			os.Exit(1)
+			return 1, err
 		}
-		return
+		return 0, nil
 	}
 
-	if err := runOnly(ctx, sc, opt, *only); err != nil {
-		fmt.Fprintln(os.Stderr, "ksanbench:", err)
-		os.Exit(1)
+	if err := runOnly(ctx, sc, opt, only); err != nil {
+		return 1, err
 	}
+	return 0, nil
 }
 
 // runOnly regenerates the requested subset of the suite.

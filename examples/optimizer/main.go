@@ -27,7 +27,24 @@ func main() {
 	fmt.Printf("demand snapshot: %d nodes, %d requests, %d distinct pairs\n\n",
 		nodes, requests, len(demand.Pairs))
 
-	opt, optCost, err := ksan.OptimalStaticTree(demand, k)
+	// One solver answers every arity for this demand: the boundary-traffic
+	// matrix and DP scratch are built once, so sweeping k to pick the best
+	// radix costs far less than independent solves.
+	solver, err := ksan.NewOptimalSolver(demand)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("optimal static tree cost by arity (one shared solver):")
+	for _, kk := range []int{2, 3, 4, 5} {
+		_, c, err := solver.Optimal(kk)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  k=%d  %10d\n", kk, c)
+	}
+	fmt.Println()
+
+	opt, optCost, err := solver.Optimal(k)
 	if err != nil {
 		log.Fatal(err)
 	}

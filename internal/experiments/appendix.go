@@ -44,26 +44,34 @@ func CentroidOptimalityCtx(ctx context.Context, workers int, ns []int, ks []int)
 		optimal             bool
 	}
 	cells := make([]cell, len(ns)*len(ks))
-	err := engine.ParallelFor(ctx, workers, len(cells), func(i int) error {
-		n, k := ns[i/len(ks)], ks[i%len(ks)]
-		_, opt, err := statictree.OptimalUniform(n, k)
+	// Shard over n, not over (n,k): one UniformSolver per node count
+	// answers the whole arity row, recycling its DP scratch across k.
+	err := engine.ParallelFor(ctx, workers, len(ns), func(i int) error {
+		n := ns[i]
+		solver, err := statictree.NewUniformSolver(n)
 		if err != nil {
 			return err
 		}
-		cen, err := statictree.Centroid(n, k)
-		if err != nil {
-			return err
-		}
-		full, err := statictree.Full(n, k)
-		if err != nil {
-			return err
-		}
-		cd := statictree.TotalDistanceUniform(cen)
-		fd := statictree.TotalDistanceUniform(full)
-		cells[i] = cell{
-			cenRatio:  report.Ratio(cd, opt),
-			fullRatio: report.Ratio(fd, opt),
-			optimal:   cd == opt,
+		for j, k := range ks {
+			_, opt, err := solver.Optimal(k)
+			if err != nil {
+				return err
+			}
+			cen, err := statictree.Centroid(n, k)
+			if err != nil {
+				return err
+			}
+			full, err := statictree.Full(n, k)
+			if err != nil {
+				return err
+			}
+			cd := statictree.TotalDistanceUniform(cen)
+			fd := statictree.TotalDistanceUniform(full)
+			cells[i*len(ks)+j] = cell{
+				cenRatio:  report.Ratio(cd, opt),
+				fullRatio: report.Ratio(fd, opt),
+				optimal:   cd == opt,
+			}
 		}
 		return nil
 	})

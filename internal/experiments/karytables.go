@@ -85,23 +85,36 @@ func KAryTableCtx(ctx context.Context, eng *engine.Engine, title string, tr work
 	type static struct{ full, opt int64 }
 	statics := make([]static, len(sc.Ks))
 	err = engine.ParallelFor(ctx, eng.Workers(), len(sc.Ks), func(i int) error {
-		k := sc.Ks[i]
-		full, err := statictree.Full(tr.N, k)
+		full, err := statictree.Full(tr.N, sc.Ks[i])
 		if err != nil {
 			return err
 		}
 		statics[i].full = statictree.TotalDistance(full, d)
-		if tr.N <= sc.OptMaxN {
-			_, cost, err := statictree.Optimal(d, k)
-			if err != nil {
-				return err
-			}
-			statics[i].opt = cost
-		}
 		return nil
 	})
 	if err != nil {
 		return res, err
+	}
+	if tr.N <= sc.OptMaxN {
+		// One Solver answers the whole arity sweep: the O(n²) boundary-
+		// traffic matrix and the DP scratch are built once per demand
+		// instead of once per k. The sweep is sequential by the Solver's
+		// ownership contract; the DP fill parallelizes internally, bounded
+		// by the engine's worker budget.
+		solver, err := statictree.NewSolver(d, statictree.WithSolverWorkers(eng.Workers()))
+		if err != nil {
+			return res, err
+		}
+		for i, k := range sc.Ks {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
+			_, cost, err := solver.Optimal(k)
+			if err != nil {
+				return res, err
+			}
+			statics[i].opt = cost
+		}
 	}
 	for i, k := range sc.Ks {
 		res.FullDist[k] = statics[i].full

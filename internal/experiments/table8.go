@@ -86,6 +86,9 @@ func Table8Ctx(ctx context.Context, eng *engine.Engine, w Workloads, sc Scale) (
 		}
 		statics[j].full = statictree.TotalDistance(full, d)
 		if tr.N <= sc.OptMaxN {
+			// Table 8 needs a single arity, so the one-shot Solver wrapper
+			// suffices (the Tables 1–7 path is the one that reuses a Solver
+			// across its whole arity sweep).
 			_, statics[j].opt, err = statictree.Optimal(d, 2)
 		} else {
 			// The cubic DP is out of reach (the paper hit the same wall at

@@ -1,0 +1,83 @@
+package statictree
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/ksan-net/ksan/internal/workload"
+)
+
+// benchDemand builds a deterministic Zipf demand at size n (the skew makes
+// segment costs uneven, so the scheduler's load balancing is exercised).
+func benchDemand(n int) *workload.Demand {
+	return workload.DemandFromTrace(workload.Zipf(n, 20*n, 1.2, 7))
+}
+
+// BenchmarkOptimal is the PR 4 perf-trajectory grid: one cubic-DP solve per
+// (n, k). BENCH_PR4.json at the repo root records this machine's baseline;
+// future PRs diff against it (scripts/bench_pr4.sh regenerates it).
+func BenchmarkOptimal(b *testing.B) {
+	for _, n := range []int{128, 256, 512} {
+		d := benchDemand(n)
+		for _, k := range []int{2, 4, 8} {
+			b.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := Optimal(d, k); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSolverSweep measures the Tables 1–7 consumption pattern: one
+// Solver answering the whole k=2..10 sweep for a single demand, sharing
+// the boundary-traffic matrix and DP scratch across arities.
+func BenchmarkSolverSweep(b *testing.B) {
+	d := benchDemand(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := NewSolver(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for k := 2; k <= 10; k++ {
+			if _, _, err := s.Optimal(k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkOptimalExhaustive pins the WithoutPruning reference path, so
+// the baseline records how much the admissible-bound pruning buys.
+func BenchmarkOptimalExhaustive(b *testing.B) {
+	d := benchDemand(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := NewSolver(d, WithoutPruning())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := s.Optimal(8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSegmentCosts isolates the O(n²) boundary-traffic matrix build
+// that every solve shares.
+func BenchmarkSegmentCosts(b *testing.B) {
+	d := benchDemand(512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := newSegmentCosts(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,18 +1,21 @@
 // Package statictree implements the offline/static demand-aware network
 // designs of Section 3 of the paper plus the demand-oblivious baseline:
 //
-//   - Optimal: the O(n³·k) dynamic program for an optimal static
+//   - Solver / Optimal: the O(n³·k) dynamic program for an optimal static
 //     routing-based k-ary search tree network (Theorem 2/15), with the
-//     dp2 prefix-minimum trick from the proof and a parallel fill,
-//   - OptimalUniform: the O(n²·k) dynamic program for the uniform
-//     workload (Theorem 4), which optimizes over tree shapes and imposes
-//     the search property afterwards,
+//     dp2 prefix-minimum trick from the proof, flattened triangular
+//     tables shared across an arity sweep, an exact admissible-bound root
+//     pruning (Knuth-style windows are unsound for this cost — see
+//     dp.go), and an atomic work-counter parallel fill,
+//   - UniformSolver / OptimalUniform: the O(n²·k) dynamic program for the
+//     uniform workload (Theorem 4), which optimizes over tree shapes and
+//     imposes the search property afterwards,
 //   - Centroid: the O(n) centroid k-ary search tree (Theorem 8/35) built
 //     from a (k+1)-degree centroid tree re-rooted at a leaf,
 //   - Full: the weakly-complete (full) k-ary tree baseline (Lemma 9),
-//   - OptimalBSTKnuth: an O(n²) Knuth-style speedup of the k=2 dynamic
-//     program, an extension used only for very large instances and
-//     cross-validated against the cubic DP in tests.
+//   - WeightBalanced: a Mehlhorn-style demand-aware approximation for
+//     instances beyond the cubic DP's reach, cross-validated against the
+//     DP optimum in tests.
 //
 // All builders return *core.Tree topologies; Net wraps one as a static
 // sim.Network whose serve cost is the routing distance (static topologies

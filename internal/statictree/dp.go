@@ -5,6 +5,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/ksan-net/ksan/internal/core"
 	"github.com/ksan-net/ksan/internal/workload"
@@ -12,78 +13,166 @@ import (
 
 const inf = math.MaxInt64 / 4
 
+// spawnWorkThreshold is the estimated per-diagonal operation count below
+// which the fill runs inline instead of fanning out to workers (a var so
+// tests can force the concurrent path on small instances).
+var spawnWorkThreshold = 4096
+
 // Optimal computes an optimal static routing-based k-ary search tree
 // network for the given demand (Theorem 2/15): a tree minimizing
 // Σ d_T(u,v)·D[u,v] among all routing-based k-ary search trees. It returns
 // the tree and its total distance.
 //
-// Running time is O(n³·k) with the dp2 prefix-minimum trick of the paper's
-// proof; the fill is parallelized across segments of equal length. Memory
-// is Θ(n²·k) words, so callers should keep n in the low thousands (the
-// paper itself could not compute the optimum for its 10⁴-node Facebook
-// trace; see Table 3).
+// It is a one-shot convenience wrapper over Solver; callers that need the
+// optimum at several arities for the same demand (the Tables 1–7 sweep
+// runs k=2..10) should build one Solver and call its Optimal method per
+// arity, sharing the O(n²) boundary-traffic matrix and the DP scratch.
 func Optimal(d *workload.Demand, k int) (*core.Tree, int64, error) {
-	if k < 2 {
-		return nil, 0, fmt.Errorf("statictree: arity %d < 2", k)
-	}
-	n := d.N
-	if n < 1 {
-		return nil, 0, fmt.Errorf("statictree: empty demand")
-	}
-	if n > 4096 {
-		return nil, 0, fmt.Errorf("statictree: n=%d too large for the cubic DP (limit 4096); downscale the demand first", n)
-	}
-	sc, err := newSegmentCosts(d)
+	s, err := NewSolver(d)
 	if err != nil {
 		return nil, 0, err
 	}
-	s := &dpSolver{n: n, k: k, sc: sc}
+	return s.Optimal(k)
+}
+
+// Solver answers Optimal(k) queries for one fixed demand at any arity.
+// Construction precomputes the boundary-traffic matrix W (O(n²), shared by
+// every arity); each Optimal call runs the O(n³·k) dynamic program of the
+// paper's Theorem 2/15 proof, with an admissible-bound root pruning that
+// typically removes the k-factor from the root search (see fillSegment)
+// and an atomic work-counter scheduler for the parallel fill (see run).
+//
+// Scratch ownership mirrors the serve-path contract of DESIGN.md §3: the
+// DP tables are owned by the Solver and recycled across Optimal calls, so
+// a Solver is NOT safe for concurrent use — serialize Optimal calls (they
+// already use all cores internally) or build one Solver per goroutine.
+// The demand is only read during construction; the returned trees are
+// freshly built and independent of the Solver.
+type Solver struct {
+	n          int
+	sc         *segmentCosts
+	exhaustive bool
+	workers    int
+
+	// Per-call state, reused across Optimal calls (grown, never cleared:
+	// every fill writes each cell of its segment before anything reads it).
+	//
+	// dp2[(t-1)*T + tri(i,j)] = minimal cost of partitioning segment [i,j]
+	// into AT MOST t routing-based k-ary search trees (the children of
+	// some node), t ∈ 1..k, where the cost of a tree on [a,b] includes
+	// W[a,b], the traffic crossing the link to its parent. The exact-t
+	// table of the seed DP is redundant — the recurrence closes over the
+	// prefix-minimum form directly (see fillSegment) — so dropping it
+	// halves table memory on top of the triangular halving.
+	//
+	// The layout is plane-major in t: the hot inner loops walk segments at
+	// a fixed t, so each plane is a contiguous triangular matrix.
+	k, T int // current arity; T = n(n+1)/2 plane size
+	dp2  []int64
+	root []int32 // root[tri(i,j)] = an argmin root of the 1-tree cost on [i,j]
+	lb   []int64 // inline-path scratch for prunedRootSearch
+
+	// Pruning diagnostics: exact O(k) split evaluations vs roots excluded
+	// by the admissible bound, accumulated per Optimal call.
+	rootsEvaluated atomic.Int64
+	rootsSkipped   atomic.Int64
+}
+
+// SolverOption configures a Solver at construction.
+type SolverOption func(*Solver)
+
+// WithoutPruning disables the admissible-bound root pruning: every segment
+// evaluates the full split cost of every root, exactly like the seed DP.
+// Pruning is exact by construction (bounds only ever exclude roots that
+// provably cannot beat an already-found split), so this exists purely as
+// the reference semantics for the differential tests and as a debugging
+// aid — costs are bit-identical in both modes.
+func WithoutPruning() SolverOption {
+	return func(s *Solver) { s.exhaustive = true }
+}
+
+// WithSolverWorkers bounds the DP fill's worker count (default GOMAXPROCS).
+// Values below 1 are ignored. Callers embedding Optimal calls inside their
+// own worker pools can set 1 to avoid oversubscription.
+func WithSolverWorkers(n int) SolverOption {
+	return func(s *Solver) {
+		if n >= 1 {
+			s.workers = n
+		}
+	}
+}
+
+// NewSolver builds the shared per-demand state: the flattened triangular
+// boundary-traffic matrix. Memory is Θ(n²) words here plus Θ(n²·k)/2 words
+// of DP table on the first Optimal(k) call (a quarter of the seed DP's two
+// square tables); callers should keep n in the low thousands (the paper
+// itself could not compute the optimum for its 10⁴-node Facebook trace;
+// see Table 3).
+func NewSolver(d *workload.Demand, opts ...SolverOption) (*Solver, error) {
+	n := d.N
+	if n < 1 {
+		return nil, fmt.Errorf("statictree: empty demand")
+	}
+	if n > 4096 {
+		return nil, fmt.Errorf("statictree: n=%d too large for the cubic DP (limit 4096); downscale the demand first", n)
+	}
+	sc, err := newSegmentCosts(d)
+	if err != nil {
+		return nil, err
+	}
+	s := &Solver{n: n, sc: sc, workers: runtime.GOMAXPROCS(0)}
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
+}
+
+// Optimal runs the DP at arity k and reconstructs an optimal tree. The
+// cost is deterministic and independent of worker count and pruning mode
+// (pruning is exact; the differential tests enforce bit-identity anyway);
+// the returned tree is one cost-minimal witness.
+func (s *Solver) Optimal(k int) (*core.Tree, int64, error) {
+	if k < 2 {
+		return nil, 0, fmt.Errorf("statictree: arity %d < 2", k)
+	}
+	s.prepare(k)
 	s.run()
-	spec := s.treeSpec(1, n)
+	spec := s.treeSpec(1, s.n)
 	tree, err := core.Build(k, spec)
 	if err != nil {
 		return nil, 0, fmt.Errorf("statictree: DP produced an invalid tree: %w", err)
 	}
-	return tree, s.get(1, n, 1), nil
+	return tree, s.get2(1, s.n, 1), nil
 }
 
-// dpSolver holds the DP tables. Segments are 1-based, t ∈ 1..k.
-//
-// dp[i][j][t]  = minimal cost of partitioning segment [i,j] into exactly t
-//
-//	routing-based k-ary search trees (the children of some
-//	node), where the cost of a tree on [a,b] includes W[a,b],
-//	the traffic crossing the link to its parent.
-//
-// dp2[i][j][t] = min over 1..t of dp[i][j][·].
-type dpSolver struct {
-	n, k int
-	sc   *segmentCosts
-	dp   []int64
-	dp2  []int64
-}
-
-func (s *dpSolver) idx(i, j, t int) int {
-	return ((i-1)*s.n+(j-1))*s.k + (t - 1)
-}
-
-// get reads dp[i][j][t], treating empty segments as free.
-func (s *dpSolver) get(i, j, t int) int64 {
-	if i > j {
-		return 0
+// prepare sizes the DP tables for arity k, recycling prior allocations.
+func (s *Solver) prepare(k int) {
+	s.k = k
+	s.T = s.sc.t.size()
+	size := s.T * k
+	if cap(s.dp2) < size {
+		s.dp2 = make([]int64, size)
+	} else {
+		s.dp2 = s.dp2[:size]
 	}
-	return s.dp[s.idx(i, j, t)]
+	if s.root == nil {
+		s.root = make([]int32, s.T)
+		s.lb = make([]int64, s.n+1)
+	}
+	s.rootsEvaluated.Store(0)
+	s.rootsSkipped.Store(0)
 }
 
-// get2 reads dp2[i][j][t] (min over up to t parts); empty segments are free.
-func (s *dpSolver) get2(i, j, t int) int64 {
+// get2 reads dp2[i][j][t] (min over up to t parts); empty segments are
+// free.
+func (s *Solver) get2(i, j, t int) int64 {
 	if i > j {
 		return 0
 	}
 	if t < 1 {
 		return inf
 	}
-	return s.dp2[s.idx(i, j, t)]
+	return s.dp2[(t-1)*s.T+s.sc.t.at(i, j)]
 }
 
 // splitCost is the cheapest way to hang the children of a node with id r
@@ -92,25 +181,22 @@ func (s *dpSolver) get2(i, j, t int) int64 {
 // when both sides are used, or k-1 children plus the node's own id
 // threshold when one side is empty (routing-based trees keep r in the
 // routing array).
-func (s *dpSolver) splitCost(i, r, j int) int64 {
-	leftEmpty := r == i
-	rightEmpty := r == j
+func (s *Solver) splitCost(i, r, j int) int64 {
+	k, T := s.k, s.T
+	top := (k - 2) * T
 	switch {
-	case leftEmpty && rightEmpty:
+	case r == i && r == j:
 		return 0
-	case leftEmpty:
-		return s.get2(r+1, j, s.k-1)
-	case rightEmpty:
-		return s.get2(i, r-1, s.k-1)
+	case r == i:
+		return s.dp2[top+s.sc.t.at(r+1, j)]
+	case r == j:
+		return s.dp2[top+s.sc.t.at(i, r-1)]
 	default:
+		li := s.sc.t.at(i, r-1)
+		ri := s.sc.t.at(r+1, j)
 		best := int64(inf)
-		for dl := 1; dl <= s.k-1; dl++ {
-			v := s.get2(i, r-1, dl)
-			if v >= inf {
-				continue
-			}
-			v += s.get2(r+1, j, s.k-dl)
-			if v < best {
+		for dl := 1; dl <= k-1; dl++ {
+			if v := s.dp2[(dl-1)*T+li] + s.dp2[(k-dl-1)*T+ri]; v < best {
 				best = v
 			}
 		}
@@ -118,131 +204,249 @@ func (s *dpSolver) splitCost(i, r, j int) int64 {
 	}
 }
 
-func (s *dpSolver) run() {
-	size := s.n * s.n * s.k
-	s.dp = make([]int64, size)
-	s.dp2 = make([]int64, size)
-	workers := runtime.GOMAXPROCS(0)
-	for length := 1; length <= s.n; length++ {
-		lo, hi := 1, s.n-length+1
-		if hi < lo {
+// splitCostBeat is splitCost for an interior root, with an early exit: as
+// dl grows, the right side is allowed fewer parts, so its dp2 term only
+// ever grows; once even the left side's unconstrained minimum (lmin, its
+// k-1-part dp2) plus that right term reaches beat, no later dl can beat
+// the incumbent and the scan stops. The returned value is the exact
+// minimum whenever it is below beat (values ≥ beat may be partial, which
+// is sound: callers only use them for `< beat` comparisons).
+func (s *Solver) splitCostBeat(i, r, j int, beat int64) int64 {
+	k, T := s.k, s.T
+	li := s.sc.t.at(i, r-1)
+	ri := s.sc.t.at(r+1, j)
+	lmin := s.dp2[(k-2)*T+li]
+	best := int64(inf)
+	for dl := 1; dl <= k-1; dl++ {
+		rv := s.dp2[(k-dl-1)*T+ri]
+		if lmin+rv >= beat && best < inf {
 			break
 		}
+		if v := s.dp2[(dl-1)*T+li] + rv; v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// run fills the table diagonal by diagonal (all segments of one length
+// depend only on shorter ones). Within a diagonal, workers pull the next
+// unfilled segment from a shared atomic counter, so a handful of
+// expensive segments — pruning makes per-segment cost wildly skewed —
+// never idles the rest of the pool the way the previous fixed-chunk
+// fan-out did. Tiny diagonals run inline: the fan-out costs more than it
+// buys below spawnWorkThreshold estimated operations.
+func (s *Solver) run() {
+	var scratch [][]int64 // per-worker lb buffers, reused across diagonals
+	for length := 1; length <= s.n; length++ {
+		lo, hi := 1, s.n-length+1
+		segs := hi - lo + 1
+		if s.workers <= 1 || segs == 1 || segs*length*s.k < spawnWorkThreshold {
+			for i := lo; i <= hi; i++ {
+				s.fillSegment(i, i+length-1, s.lb)
+			}
+			continue
+		}
+		if scratch == nil {
+			scratch = make([][]int64, s.workers)
+			for w := range scratch {
+				scratch[w] = make([]int64, s.n+1)
+			}
+		}
+		nw := s.workers
+		if nw > segs {
+			nw = segs
+		}
+		var next atomic.Int64
 		var wg sync.WaitGroup
-		chunk := (hi - lo + 1 + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			from := lo + w*chunk
-			to := from + chunk - 1
-			if to > hi {
-				to = hi
-			}
-			if from > to {
-				continue
-			}
-			wg.Add(1)
-			go func(from, to, length int) {
+		wg.Add(nw)
+		for w := 0; w < nw; w++ {
+			lb := scratch[w]
+			go func() {
 				defer wg.Done()
-				for i := from; i <= to; i++ {
-					s.fillSegment(i, i+length-1)
+				for {
+					i := lo + int(next.Add(1)) - 1
+					if i > hi {
+						return
+					}
+					s.fillSegment(i, i+length-1, lb)
 				}
-			}(from, to, length)
+			}()
 		}
 		wg.Wait()
 	}
 }
 
-// fillSegment computes dp[i][j][·] and dp2[i][j][·]; all shorter segments
-// are already filled.
-func (s *dpSolver) fillSegment(i, j int) {
-	// t = 1: choose a root r and its child split.
-	best := int64(inf)
-	for r := i; r <= j; r++ {
-		if v := s.splitCost(i, r, j); v < best {
-			best = v
-		}
-	}
-	w := s.sc.W(i, j)
-	s.dp[s.idx(i, j, 1)] = best + w
-	s.dp2[s.idx(i, j, 1)] = best + w
-	// t ≥ 2: peel the first tree off the segment.
-	nodes := j - i + 1
-	for t := 2; t <= s.k; t++ {
-		best := int64(inf)
-		if t <= nodes {
-			for l := i; l <= j-t+1; l++ {
-				v := s.get(i, l, 1) + s.get(l+1, j, t-1)
-				if v < best {
-					best = v
-				}
+// fillSegment computes dp2[i][j][·] and root[i][j]; all shorter segments
+// are already filled. lb is caller-owned scratch of length ≥ n+1.
+//
+// t = 1 is the root search. A classic Knuth-style window
+// r*(i,j-1) ≤ r ≤ r*(i+1,j) would be UNSOUND here: the boundary-traffic
+// cost W violates the quadrangle inequality, and root monotonicity
+// genuinely fails (TestRootMonotonicityCounterexample pins a 4-node demand
+// where the optimal root of [1,4] lies outside the window). Instead the
+// pruning is branch-and-bound with an admissible bound — exact by
+// construction, falling back to full evaluation exactly for the roots the
+// bound cannot exclude (see prunedRootSearch).
+//
+// t ≥ 2 peels the first child tree off the segment, directly in
+// prefix-minimum form: a forest of ≤ t trees is either one tree (the
+// t-1 entry already covers it) or a first tree [i,l] plus a forest of
+// ≤ t-1 trees on [l+1,j].
+func (s *Solver) fillSegment(i, j int, lb []int64) {
+	k, T := s.k, s.T
+	offs := s.sc.t.off
+	base := int(offs[i]) + j - i
+	var best int64
+	var bestR int
+	switch {
+	case i == j:
+		best, bestR = 0, i
+	case s.exhaustive:
+		best, bestR = inf, i
+		for r := i; r <= j; r++ {
+			if v := s.splitCost(i, r, j); v < best {
+				best, bestR = v, r
 			}
 		}
-		s.dp[s.idx(i, j, t)] = best
-		prev := s.dp2[s.idx(i, j, t-1)]
-		if best < prev {
-			s.dp2[s.idx(i, j, t)] = best
-		} else {
-			s.dp2[s.idx(i, j, t)] = prev
+	default:
+		best, bestR = s.prunedRootSearch(i, j, lb)
+	}
+	s.root[base] = int32(bestR)
+	s.dp2[base] = best + s.sc.w[base]
+	n := s.n
+	lrow := s.dp2[int(offs[i]) : int(offs[i])+j-i+1] // dp2(i, ·, 1): contiguous
+	for t := 2; t <= k; t++ {
+		prevPlane := s.dp2[(t-2)*T:]
+		b := prevPlane[base] // a forest of ≤ t-1 trees is also one of ≤ t
+		ri := int(offs[i+1]) + j - i - 1
+		// ri tracks tri(l+1, j): row l+2 starts n-l long, so the index
+		// advances by n-l-1 when l steps.
+		for l := i; l < j; l++ {
+			if v := lrow[l-i] + prevPlane[ri]; v < b {
+				b = v
+			}
+			ri += n - l - 1
 		}
+		s.dp2[(t-1)*T+base] = b
 	}
 }
 
-// bestRootSplit re-derives the argmin of dp[i][j][1]: the root id and the
-// left/right child counts. Recomputing choices on demand keeps the tables
-// at two int64 arrays.
-func (s *dpSolver) bestRootSplit(i, j int) (r, dl, dr int) {
-	target := s.get(i, j, 1) - s.sc.W(i, j)
-	for r := i; r <= j; r++ {
-		leftEmpty := r == i
-		rightEmpty := r == j
-		switch {
-		case leftEmpty && rightEmpty:
-			if target == 0 {
-				return r, 0, 0
-			}
-		case leftEmpty:
-			if s.get2(r+1, j, s.k-1) == target {
-				return r, 0, s.minParts(r+1, j, s.k-1)
-			}
-		case rightEmpty:
-			if s.get2(i, r-1, s.k-1) == target {
-				return r, s.minParts(i, r-1, s.k-1), 0
-			}
-		default:
-			for dl := 1; dl <= s.k-1; dl++ {
-				lv := s.get2(i, r-1, dl)
-				if lv >= inf {
-					continue
-				}
-				if lv+s.get2(r+1, j, s.k-dl) == target {
-					return r, s.minParts(i, r-1, dl), s.minParts(r+1, j, s.k-dl)
-				}
+// prunedRootSearch finds the minimum split cost over all roots of [i,j]
+// (i < j) and one argmin. Edge roots cost a single read. For each interior
+// root r, dp2(i,r-1,k-1) + dp2(r+1,j,k-1) is a lower bound on its split
+// cost — it relaxes the dl+dr ≤ k routing-array constraint to dl,dr ≤ k-1
+// — and dp2's monotonicity in t makes the bound admissible. The search
+// bounds every interior root (2 reads each), evaluates the most promising
+// one exactly to seed a tight incumbent, then runs the exact O(k) split
+// only for roots whose bound beats the incumbent. Worst case (bounds all
+// tie, e.g. near-uniform demands) it degrades gracefully to the seed DP's
+// full O(len·k) scan; on skewed demands it removes the k factor.
+func (s *Solver) prunedRootSearch(i, j int, lb []int64) (int64, int) {
+	k, T := s.k, s.T
+	offs := s.sc.t.off
+	top := s.dp2[(k-2)*T:]
+	best := top[int(offs[i+1])+j-i-1] // r = i: right side [i+1,j] gets k-1 slots
+	bestR := i
+	if v := top[int(offs[i])+j-1-i]; v < best { // r = j: left side [i,j-1]
+		best, bestR = v, j
+	}
+	if j-i == 1 {
+		return best, bestR
+	}
+	minLB, minR := int64(inf), 0
+	li := int(offs[i]) - i // + (r-1) = tri(i, r-1)
+	for r := i + 1; r < j; r++ {
+		v := top[li+r-1] + top[int(offs[r+1])+j-r-1]
+		lb[r-i] = v
+		if v < minLB {
+			minLB, minR = v, r
+		}
+	}
+	evaluated, skipped := int64(0), int64(0)
+	if minLB < best {
+		evaluated++
+		if v := s.splitCostBeat(i, minR, j, best); v < best {
+			best, bestR = v, minR
+		}
+	} else {
+		skipped++
+	}
+	for r := i + 1; r < j; r++ {
+		if r == minR {
+			continue // counted in the seeding step above
+		}
+		if lb[r-i] >= best {
+			skipped++
+			continue
+		}
+		evaluated++
+		if v := s.splitCostBeat(i, r, j, best); v < best {
+			best, bestR = v, r
+		}
+	}
+	s.rootsEvaluated.Add(evaluated)
+	s.rootsSkipped.Add(skipped)
+	return best, bestR
+}
+
+// bestRootSplit re-derives the argmin of the 1-tree cost on [i,j] from the
+// stored root: the root id and the left/right child counts. Recomputing
+// the split on demand keeps the tables at one int64 plane stack plus the
+// int32 root row.
+func (s *Solver) bestRootSplit(i, j int) (r, dl, dr int) {
+	target := s.get2(i, j, 1) - s.sc.W(i, j)
+	r = int(s.root[s.sc.t.at(i, j)])
+	leftEmpty := r == i
+	rightEmpty := r == j
+	switch {
+	case leftEmpty && rightEmpty:
+		if target == 0 {
+			return r, 0, 0
+		}
+	case leftEmpty:
+		if s.get2(r+1, j, s.k-1) == target {
+			return r, 0, s.minParts(r+1, j, s.k-1)
+		}
+	case rightEmpty:
+		if s.get2(i, r-1, s.k-1) == target {
+			return r, s.minParts(i, r-1, s.k-1), 0
+		}
+	default:
+		for dl := 1; dl <= s.k-1; dl++ {
+			if s.get2(i, r-1, dl)+s.get2(r+1, j, s.k-dl) == target {
+				return r, s.minParts(i, r-1, dl), s.minParts(r+1, j, s.k-dl)
 			}
 		}
 	}
-	panic(fmt.Sprintf("statictree: no root reproduces dp[%d][%d][1]", i, j))
+	panic(fmt.Sprintf("statictree: stored root %d does not reproduce the 1-tree cost on [%d,%d]", r, i, j))
 }
 
-// minParts returns a part count t ≤ maxT achieving dp2[i][j][maxT].
-func (s *dpSolver) minParts(i, j, maxT int) int {
+// minParts returns the smallest part count t ≤ maxT achieving
+// dp2[i][j][maxT]; the optimal forest then uses exactly t trees.
+func (s *Solver) minParts(i, j, maxT int) int {
 	want := s.get2(i, j, maxT)
 	for t := 1; t <= maxT; t++ {
-		if s.get(i, j, t) == want {
+		if s.get2(i, j, t) == want {
 			return t
 		}
 	}
 	panic("statictree: dp2 value unreachable")
 }
 
-// forestParts splits [i,j] into t consecutive segments reproducing
-// dp[i][j][t].
-func (s *dpSolver) forestParts(i, j, t int) [][2]int {
+// forestParts splits [i,j] into exactly t consecutive segments reproducing
+// dp2[i][j][t]; t must be minimal for the value (minParts), which
+// guarantees the reconstruction uses all t parts.
+func (s *Solver) forestParts(i, j, t int) [][2]int {
 	if t == 1 {
 		return [][2]int{{i, j}}
 	}
-	want := s.get(i, j, t)
-	for l := i; l <= j-t+1; l++ {
-		if s.get(i, l, 1)+s.get(l+1, j, t-1) == want {
-			return append([][2]int{{i, l}}, s.forestParts(l+1, j, t-1)...)
+	want := s.get2(i, j, t)
+	for l := i; l < j; l++ {
+		rest := s.get2(l+1, j, t-1)
+		if s.get2(i, l, 1)+rest == want {
+			tt := s.minParts(l+1, j, t-1)
+			return append([][2]int{{i, l}}, s.forestParts(l+1, j, tt)...)
 		}
 	}
 	panic("statictree: forest split unreachable")
@@ -252,13 +456,14 @@ func (s *dpSolver) forestParts(i, j, t int) [][2]int {
 // id always appears as a routing element (routing-based construction): the
 // threshold between the last left child and the first right child is r,
 // and when one side is empty r still delimits an empty slot.
-func (s *dpSolver) treeSpec(i, j int) *core.Spec {
+func (s *Solver) treeSpec(i, j int) *core.Spec {
 	r, dl, dr := s.bestRootSplit(i, j)
 	spec := &core.Spec{ID: r}
 	if dl > 0 {
-		for idx, part := range s.forestParts(i, r-1, dl) {
+		parts := s.forestParts(i, r-1, dl)
+		for idx, part := range parts {
 			spec.Children = append(spec.Children, s.treeSpec(part[0], part[1]))
-			if idx < dl-1 {
+			if idx < len(parts)-1 {
 				spec.Thresholds = append(spec.Thresholds, part[1])
 			} else {
 				spec.Thresholds = append(spec.Thresholds, r)
@@ -273,7 +478,7 @@ func (s *dpSolver) treeSpec(i, j int) *core.Spec {
 		parts := s.forestParts(r+1, j, dr)
 		for idx, part := range parts {
 			spec.Children = append(spec.Children, s.treeSpec(part[0], part[1]))
-			if idx < dr-1 {
+			if idx < len(parts)-1 {
 				spec.Thresholds = append(spec.Thresholds, part[1])
 			}
 		}

@@ -7,59 +7,86 @@ import (
 )
 
 // OptimalUniform computes an optimal static k-ary search tree for the
-// (finite) uniform workload in O(n²·k) time (Theorem 4): because both the
-// demand restricted to a segment and the boundary traffic W depend only on
-// the segment's length (Lemmas 18/19), the dynamic program collapses to
-// one dimension — it optimizes over tree shapes, and the search property
-// is imposed afterwards by an in-order id assignment.
-//
-// The returned cost is TotalDistance(D_uniform, T) = Σ_{u<v} d_T(u,v).
+// (finite) uniform workload in O(n²·k) time (Theorem 4). It is a one-shot
+// wrapper over UniformSolver; callers sweeping arities at a fixed n (the
+// Remark 10 grid) should reuse one UniformSolver.
 func OptimalUniform(n, k int) (*core.Tree, int64, error) {
+	s, err := NewUniformSolver(n)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s.Optimal(k)
+}
+
+// UniformSolver answers uniform-workload Optimal(k) queries for a fixed
+// node count n: because both the demand restricted to a segment and the
+// boundary traffic W depend only on the segment's length (Lemmas 18/19),
+// the dynamic program collapses to one dimension — it optimizes over tree
+// shapes, and the search property is imposed afterwards by an in-order id
+// assignment. The returned cost is TotalDistance(D_uniform, T) =
+// Σ_{u<v} d_T(u,v).
+//
+// Like Solver, a UniformSolver owns its DP scratch and recycles it across
+// Optimal calls (the tables are arity-dependent, so only allocations are
+// shared, not values); it is not safe for concurrent use.
+type UniformSolver struct {
+	n int
+	// Per-call state, reused across Optimal calls.
+	//
+	// tree[s]            = cost of the best single tree on s nodes,
+	//                      including W(s) (the traffic crossing the link
+	//                      to its parent).
+	// forest[s*(k+1)+t]  = cost of the best forest of exactly t non-empty
+	//                      trees covering s nodes in total, t ∈ 1..k.
+	k      int
+	tree   []int64
+	forest []int64
+}
+
+// NewUniformSolver validates n and prepares a solver for the uniform
+// workload on nodes 1..n.
+func NewUniformSolver(n int) (*UniformSolver, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("statictree: need at least one node")
+	}
+	return &UniformSolver{n: n}, nil
+}
+
+// Optimal runs the uniform DP at arity k and reconstructs an optimal tree.
+func (s *UniformSolver) Optimal(k int) (*core.Tree, int64, error) {
 	if k < 2 {
 		return nil, 0, fmt.Errorf("statictree: arity %d < 2", k)
 	}
-	if n < 1 {
-		return nil, 0, fmt.Errorf("statictree: need at least one node")
-	}
-	s := &uniformSolver{n: n, k: k}
-	s.run()
-	spec := s.treeSpec(1, n)
+	s.run(k)
+	spec := s.treeSpec(1, s.n)
 	tree, err := core.Build(k, spec)
 	if err != nil {
 		return nil, 0, fmt.Errorf("statictree: uniform DP produced an invalid tree: %w", err)
 	}
-	return tree, s.tree[n], nil
-}
-
-// uniformSolver indexes the DP by segment length only.
-//
-// tree[s]      = cost of the best single tree on s nodes, including W(s)
-//
-//	(the traffic crossing the link to its parent).
-//
-// forest[s][t] = cost of the best forest of exactly t non-empty trees
-//
-//	covering s nodes in total.
-type uniformSolver struct {
-	n, k   int
-	tree   []int64   // tree[s], s in 0..n
-	forest [][]int64 // forest[s][t], t in 1..k
+	return tree, s.tree[s.n], nil
 }
 
 // w is the uniform-workload boundary traffic of any segment of length s:
 // each inside node exchanges one request with each outside node.
-func (s *uniformSolver) w(length int) int64 {
+func (s *UniformSolver) w(length int) int64 {
 	return int64(length) * int64(s.n-length)
 }
 
-func (s *uniformSolver) run() {
-	s.tree = make([]int64, s.n+1)
-	s.forest = make([][]int64, s.n+1)
-	for l := range s.forest {
-		s.forest[l] = make([]int64, s.k+1)
-		for t := range s.forest[l] {
-			s.forest[l][t] = inf
-		}
+func (s *UniformSolver) run(k int) {
+	s.k = k
+	if cap(s.tree) < s.n+1 {
+		s.tree = make([]int64, s.n+1)
+	} else {
+		s.tree = s.tree[:s.n+1]
+	}
+	fsize := (s.n + 1) * (k + 1)
+	if cap(s.forest) < fsize {
+		s.forest = make([]int64, fsize)
+	} else {
+		s.forest = s.forest[:fsize]
+	}
+	for i := range s.forest {
+		s.forest[i] = inf
 	}
 	for length := 1; length <= s.n; length++ {
 		// Best single tree: root plus up to k child trees over length-1
@@ -68,33 +95,35 @@ func (s *uniformSolver) run() {
 		if length == 1 {
 			best = 0
 		}
-		maxT := s.k
+		maxT := k
 		if maxT > length-1 {
 			maxT = length - 1
 		}
+		prev := s.forest[(length-1)*(k+1):]
 		for t := 1; t <= maxT; t++ {
-			if v := s.forest[length-1][t]; v < best {
+			if v := prev[t]; v < best {
 				best = v
 			}
 		}
 		s.tree[length] = best + s.w(length)
 		// Forests of this length.
-		s.forest[length][1] = s.tree[length]
-		for t := 2; t <= s.k && t <= length; t++ {
+		row := s.forest[length*(k+1):]
+		row[1] = s.tree[length]
+		for t := 2; t <= k && t <= length; t++ {
 			best := int64(inf)
 			for a := 1; a <= length-t+1; a++ {
-				v := s.tree[a] + s.forest[length-a][t-1]
+				v := s.tree[a] + s.forest[(length-a)*(k+1)+t-1]
 				if v < best {
 					best = v
 				}
 			}
-			s.forest[length][t] = best
+			row[t] = best
 		}
 	}
 }
 
 // childSizes re-derives the child-tree sizes of the best tree on s nodes.
-func (s *uniformSolver) childSizes(length int) []int {
+func (s *UniformSolver) childSizes(length int) []int {
 	if length == 1 {
 		return nil
 	}
@@ -104,20 +133,20 @@ func (s *uniformSolver) childSizes(length int) []int {
 		maxT = length - 1
 	}
 	for t := 1; t <= maxT; t++ {
-		if s.forest[length-1][t] == target {
+		if s.forest[(length-1)*(s.k+1)+t] == target {
 			return s.forestSizes(length-1, t)
 		}
 	}
 	panic("statictree: uniform child sizes unreachable")
 }
 
-func (s *uniformSolver) forestSizes(length, t int) []int {
+func (s *UniformSolver) forestSizes(length, t int) []int {
 	if t == 1 {
 		return []int{length}
 	}
-	want := s.forest[length][t]
+	want := s.forest[length*(s.k+1)+t]
 	for a := 1; a <= length-t+1; a++ {
-		if s.tree[a]+s.forest[length-a][t-1] == want {
+		if s.tree[a]+s.forest[(length-a)*(s.k+1)+t-1] == want {
 			return append([]int{a}, s.forestSizes(length-a, t-1)...)
 		}
 	}
@@ -127,7 +156,7 @@ func (s *uniformSolver) forestSizes(length, t int) []int {
 // treeSpec lays the optimal shape onto the id interval [lo,hi]: the root id
 // sits right after the first child's interval, making the tree
 // routing-based (any in-order placement yields the same uniform cost).
-func (s *uniformSolver) treeSpec(lo, hi int) *core.Spec {
+func (s *UniformSolver) treeSpec(lo, hi int) *core.Spec {
 	length := hi - lo + 1
 	if length == 1 {
 		return &core.Spec{ID: lo}

@@ -1,7 +1,9 @@
 package workload
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 
 	"github.com/ksan-net/ksan/internal/sim"
@@ -22,24 +24,73 @@ type Demand struct {
 	Total int64
 }
 
-// DemandFromTrace aggregates a trace into its demand matrix.
+// DemandFromTrace aggregates a trace into its demand matrix: Pairs sorted
+// by (Src, Dst) with one entry per distinct pair.
+//
+// The aggregation is sort-based rather than map-based: requests are packed
+// into a preallocated key slice, sorted, and run-length encoded. On
+// multi-million-request traces the map version paid one heap-allocated
+// bucket entry per distinct pair plus hash work per request; the sort
+// path does three allocations total (keys, exact-size Pairs, Demand) and
+// is memory-bandwidth bound instead.
 func DemandFromTrace(tr Trace) *Demand {
-	type key struct{ u, v int }
-	acc := make(map[key]int64)
-	for _, rq := range tr.Reqs {
-		acc[key{rq.Src, rq.Dst}]++
+	d := &Demand{N: tr.N, Total: int64(len(tr.Reqs)), Pairs: []PairCount{}}
+	if len(tr.Reqs) == 0 {
+		return d
 	}
-	d := &Demand{N: tr.N, Pairs: make([]PairCount, 0, len(acc))}
-	for k, c := range acc {
-		d.Pairs = append(d.Pairs, PairCount{Src: k.u, Dst: k.v, Count: c})
-		d.Total += c
-	}
-	sort.Slice(d.Pairs, func(i, j int) bool {
-		if d.Pairs[i].Src != d.Pairs[j].Src {
-			return d.Pairs[i].Src < d.Pairs[j].Src
+	// Node ids are 1..N by the package contract, so a (Src,Dst) pair packs
+	// into one uint64 whose natural order is the (Src, Dst) lexicographic
+	// order. Guard the contract anyway: ids outside [0, 2³¹) fall back to
+	// a comparator sort with identical semantics.
+	keys := make([]uint64, len(tr.Reqs))
+	for i, rq := range tr.Reqs {
+		if uint(rq.Src) >= 1<<31 || uint(rq.Dst) >= 1<<31 {
+			return demandFromTraceCmp(tr)
 		}
-		return d.Pairs[i].Dst < d.Pairs[j].Dst
+		keys[i] = uint64(rq.Src)<<32 | uint64(rq.Dst)
+	}
+	slices.Sort(keys)
+	distinct := 1
+	for i := 1; i < len(keys); i++ {
+		if keys[i] != keys[i-1] {
+			distinct++
+		}
+	}
+	d.Pairs = make([]PairCount, 0, distinct)
+	run := int64(1)
+	for i := 1; i <= len(keys); i++ {
+		if i < len(keys) && keys[i] == keys[i-1] {
+			run++
+			continue
+		}
+		k := keys[i-1]
+		d.Pairs = append(d.Pairs, PairCount{Src: int(k >> 32), Dst: int(uint32(k)), Count: run})
+		run = 1
+	}
+	return d
+}
+
+// demandFromTraceCmp is the comparator-sorted slow path of DemandFromTrace
+// for ids that don't fit the packed-key fast path.
+func demandFromTraceCmp(tr Trace) *Demand {
+	pairs := make([]PairCount, len(tr.Reqs))
+	for i, rq := range tr.Reqs {
+		pairs[i] = PairCount{Src: rq.Src, Dst: rq.Dst, Count: 1}
+	}
+	slices.SortFunc(pairs, func(a, b PairCount) int {
+		if a.Src != b.Src {
+			return cmp.Compare(a.Src, b.Src)
+		}
+		return cmp.Compare(a.Dst, b.Dst)
 	})
+	d := &Demand{N: tr.N, Total: int64(len(pairs)), Pairs: pairs[:0]}
+	for _, p := range pairs {
+		if n := len(d.Pairs); n > 0 && d.Pairs[n-1].Src == p.Src && d.Pairs[n-1].Dst == p.Dst {
+			d.Pairs[n-1].Count++
+			continue
+		}
+		d.Pairs = append(d.Pairs, p)
+	}
 	return d
 }
 

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/ksan-net/ksan/internal/sim"
+)
+
+// demandFromTraceMap is the pre-PR-4 map-based aggregation, kept as the
+// reference implementation for the sort-based rewrite.
+func demandFromTraceMap(tr Trace) *Demand {
+	type key struct{ u, v int }
+	acc := make(map[key]int64)
+	for _, rq := range tr.Reqs {
+		acc[key{rq.Src, rq.Dst}]++
+	}
+	d := &Demand{N: tr.N, Pairs: make([]PairCount, 0, len(acc))}
+	for k, c := range acc {
+		d.Pairs = append(d.Pairs, PairCount{Src: k.u, Dst: k.v, Count: c})
+		d.Total += c
+	}
+	sort.Slice(d.Pairs, func(i, j int) bool {
+		if d.Pairs[i].Src != d.Pairs[j].Src {
+			return d.Pairs[i].Src < d.Pairs[j].Src
+		}
+		return d.Pairs[i].Dst < d.Pairs[j].Dst
+	})
+	return d
+}
+
+func TestDemandFromTraceMatchesMapVersion(t *testing.T) {
+	traces := map[string]Trace{
+		"uniform":     Uniform(40, 5000, 1),
+		"temporal":    Temporal(63, 5000, 0.75, 2),
+		"zipf":        Zipf(100, 5000, 1.2, 3),
+		"hpc":         HPCLike(64, 5000, 4),
+		"projector":   ProjecToRLike(50, 5000, 5),
+		"facebook":    FacebookLike(128, 5000, 6),
+		"empty":       {N: 10},
+		"single":      {N: 10, Reqs: Uniform(10, 1, 7).Reqs},
+		"one-pair":    {N: 4, Reqs: Uniform(4, 200, 8).Reqs[:1]},
+		"tiny-n":      Uniform(2, 300, 9),
+		"max-repeats": Temporal(16, 4000, 0.9, 10),
+	}
+	for name, tr := range traces {
+		got := DemandFromTrace(tr)
+		want := demandFromTraceMap(tr)
+		if got.N != want.N || got.Total != want.Total {
+			t.Fatalf("%s: N/Total (%d,%d), want (%d,%d)", name, got.N, got.Total, want.N, want.Total)
+		}
+		if !reflect.DeepEqual(got.Pairs, want.Pairs) {
+			t.Fatalf("%s: sort-based pairs diverge from map-based reference\n got %v\nwant %v",
+				name, got.Pairs, want.Pairs)
+		}
+	}
+}
+
+func TestDemandFromTraceCmpFallback(t *testing.T) {
+	// Ids outside the packed-key range must take the comparator path and
+	// still aggregate identically to the reference.
+	// Negative ids are out of the packed-key range on every platform (an
+	// id ≥ 2³¹ would too, but that constant doesn't compile on 32-bit).
+	tr := Trace{N: 5, Reqs: Uniform(5, 50, 3).Reqs}
+	tr.Reqs = append(tr.Reqs,
+		sim.Request{Src: -7, Dst: 2},
+		sim.Request{Src: -7, Dst: 2},
+		sim.Request{Src: -3, Dst: 4})
+	got := DemandFromTrace(tr)
+	want := demandFromTraceMap(tr)
+	if !reflect.DeepEqual(got.Pairs, want.Pairs) || got.Total != want.Total {
+		t.Fatalf("fallback path diverges:\n got %+v total %d\nwant %+v total %d",
+			got.Pairs, got.Total, want.Pairs, want.Total)
+	}
+}
+
+func BenchmarkDemandFromTrace(b *testing.B) {
+	tr := Temporal(1023, 200_000, 0.5, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DemandFromTrace(tr)
+	}
+}
+
+func BenchmarkDemandFromTraceMap(b *testing.B) {
+	tr := Temporal(1023, 200_000, 0.5, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		demandFromTraceMap(tr)
+	}
+}

@@ -13,7 +13,8 @@
 //     the centroid-based (k+1)-SplayNet (NewCentroidSplayNet), and the
 //     binary SplayNet baseline (NewSplayNet);
 //   - offline/static designs: the DP-optimal routing-based tree
-//     (OptimalStaticTree), the uniform-workload optimum
+//     (OptimalStaticTree, with NewOptimalSolver sharing one demand's
+//     precomputation across an arity sweep), the uniform-workload optimum
 //     (OptimalUniformTree), the O(n) centroid tree (CentroidTree), the
 //     full tree baseline (FullTree) and a weight-balanced approximation
 //     for very large instances (WeightBalancedTree);
@@ -131,11 +132,38 @@ func NewPathTree(n, k int) (*Tree, error) { return core.NewPath(n, k) }
 func NewRandomTree(n, k int, seed int64) (*Tree, error) { return core.NewRandom(n, k, seed) }
 
 // OptimalStaticTree computes the optimal static routing-based k-ary search
-// tree for a demand (Theorem 2; O(n³·k) time) and its total distance.
+// tree for a demand (Theorem 2; O(n³·k) time) and its total distance. It
+// is a one-shot wrapper over OptimalSolver; sweep arities through one
+// NewOptimalSolver to share the per-demand precomputation.
 func OptimalStaticTree(d *Demand, k int) (*Tree, int64, error) { return statictree.Optimal(d, k) }
 
+// OptimalSolver answers OptimalStaticTree queries for one demand at any
+// arity, building the O(n²) boundary-traffic matrix once and recycling the
+// DP tables across calls. It owns its scratch: serialize Optimal calls
+// (the DP fill itself is parallel) or build one solver per goroutine.
+type OptimalSolver = statictree.Solver
+
+// OptimalSolverOption configures NewOptimalSolver: SolverWithoutPruning
+// selects the exhaustive reference DP (pruning is exact, so this is a
+// debugging aid), SolverWorkers bounds the fill's parallelism.
+type OptimalSolverOption = statictree.SolverOption
+
+// SolverWithoutPruning disables the admissible-bound root pruning.
+func SolverWithoutPruning() OptimalSolverOption { return statictree.WithoutPruning() }
+
+// SolverWorkers bounds the DP fill's worker count (default GOMAXPROCS).
+func SolverWorkers(n int) OptimalSolverOption { return statictree.WithSolverWorkers(n) }
+
+// NewOptimalSolver builds a reusable solver for the demand's optimal
+// static trees (see OptimalSolver).
+func NewOptimalSolver(d *Demand, opts ...OptimalSolverOption) (*OptimalSolver, error) {
+	return statictree.NewSolver(d, opts...)
+}
+
 // OptimalUniformTree computes the optimal static k-ary search tree for the
-// uniform workload (Theorem 4; O(n²·k) time) and its total distance.
+// uniform workload (Theorem 4; O(n²·k) time) and its total distance. It is
+// a one-shot wrapper over statictree's UniformSolver; the Remark 10 grid
+// reuses one solver per node count.
 func OptimalUniformTree(n, k int) (*Tree, int64, error) { return statictree.OptimalUniform(n, k) }
 
 // CentroidTree builds the centroid k-ary search tree in O(n) (Theorem 8);

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_PR4.json, the machine-readable perf baseline seeded in
+# PR 4: the key offline-optimum, demand-aggregation and serve-path
+# benchmarks, as {name -> ns/op, bytes/op, allocs/op} (schema ksan-bench/v1,
+# produced by cmd/benchjson). Future PRs rerun this on the same machine and
+# diff against the checked-in file.
+#
+# Usage: scripts/bench_pr4.sh [output.json]
+#   BENCHTIME=1x scripts/bench_pr4.sh /tmp/check.json   # CI schema check
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR4.json}"
+# Time-based by default so the fast serve-path benchmarks get enough
+# iterations to mean something; CI sets BENCHTIME=1x for a compile-and-
+# schema check only.
+benchtime="${BENCHTIME:-1s}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+run() { # run <package> <bench regex>
+  go test -run '^$' -bench "$2" -benchmem -benchtime "$benchtime" "$1" >>"$tmp"
+}
+
+# The PR 4 trajectory grid: the cubic DP across n × k, the shared-solver
+# arity sweep, the exhaustive reference, and the matrix build it shares.
+run ./internal/statictree 'BenchmarkOptimal$|BenchmarkSolverSweep$|BenchmarkOptimalExhaustive$|BenchmarkSegmentCosts$'
+# The sort-based demand aggregation and its map-based reference.
+run ./internal/workload 'BenchmarkDemandFromTrace$|BenchmarkDemandFromTraceMap$'
+# The serve-path and facade-level DP benchmarks tracked since PR 2.
+run . 'BenchmarkServeKAryTemporal$|BenchmarkServeCentroidTemporal$|BenchmarkServeSplayNetTemporal$|BenchmarkOptimalDPCubic$|BenchmarkTable8OptimalBSTBuild$|BenchmarkRemark10UniformDP$'
+
+go run ./cmd/benchjson <"$tmp" >"$out"
+echo "bench_pr4: wrote $out ($(grep -c '"ns_per_op"' "$out") benchmarks at -benchtime=$benchtime)" >&2
