@@ -45,12 +45,47 @@ func TestServeZeroAllocsKAry(t *testing.T) {
 
 func TestServeZeroAllocsKArySemiSplayOnly(t *testing.T) {
 	tr := TemporalWorkload(255, 10000, 0.5, 2)
-	net, err := NewKArySplayNet(255, 3)
+	tree, err := NewBalancedTree(255, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	net.SetSemiSplayOnly(true)
+	net, err := NewPolicyNet("3-ary semi-splay", tree, TriggerAlways(), AdjusterSemiSplay())
+	if err != nil {
+		t.Fatal(err)
+	}
 	assertServeZeroAllocs(t, net, tr)
+}
+
+// TestServeZeroAllocsPolicyCompositions pins the zero-allocation serve
+// contract across the policy plane's splay-family compositions: deferred
+// triggers (periodic, cost-threshold, frozen-after-warmup) must not cost
+// allocations either — the trigger state is plain counters, the
+// adjustment context is recycled, and the static-stretch oracle is built
+// at most once per stretch (inside the warmup pass below, so the steady
+// state is clean).
+func TestServeZeroAllocsPolicyCompositions(t *testing.T) {
+	tr := TemporalWorkload(255, 10000, 0.75, 3)
+	for _, tc := range []struct {
+		label string
+		trig  func() PolicyTrigger
+		adj   func() PolicyAdjuster
+	}{
+		{"every(4)×splay", func() PolicyTrigger { return TriggerEveryM(4) }, AdjusterSplay},
+		{"every(4)×semi-splay", func() PolicyTrigger { return TriggerEveryM(4) }, AdjusterSemiSplay},
+		{"alpha(5000)×splay", func() PolicyTrigger { return TriggerAlpha(5000) }, AdjusterSplay},
+		{"first(500)×splay", func() PolicyTrigger { return TriggerFirst(500) }, AdjusterSplay},
+		{"never×none", TriggerNever, AdjusterNone},
+	} {
+		tree, err := NewBalancedTree(255, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net, err := NewPolicyNet(tc.label, tree, tc.trig(), tc.adj())
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertServeZeroAllocs(t, net, tr)
+	}
 }
 
 func TestServeZeroAllocsCentroid(t *testing.T) {

@@ -49,6 +49,49 @@ func BenchmarkServeSplayNetTemporal(b *testing.B) {
 	benchServe(b, func() Network { n, _ := NewSplayNet(255); return n }, tr)
 }
 
+// --- The policy plane: one benchmark per composition family, pinning
+// the serve cost of each trigger × adjuster point on the same workload
+// and topology. The deferred-trigger rows (alpha-splay, frozen-*, lazy)
+// are where the static-stretch Euler-tour/RMQ oracle engages; their
+// ns/op against the walk-based history is tracked in EXPERIMENTS.md and
+// BENCH_PR5.json. ---
+
+func BenchmarkPolicyServe(b *testing.B) {
+	tr := TemporalWorkload(1023, 20000, 0.75, 1)
+	compose := func(trig func() PolicyTrigger, adj func() PolicyAdjuster) func() Network {
+		return func() Network {
+			tree, err := NewBalancedTree(1023, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			net, err := NewPolicyNet("bench", tree, trig(), adj())
+			if err != nil {
+				b.Fatal(err)
+			}
+			return net
+		}
+	}
+	for _, tc := range []struct {
+		name string
+		mk   func() Network
+	}{
+		{"kary-always-splay", compose(TriggerAlways, AdjusterSplay)},
+		{"kary-every4-semisplay", compose(func() PolicyTrigger { return TriggerEveryM(4) }, AdjusterSemiSplay)},
+		{"kary-alpha-splay", compose(func() PolicyTrigger { return TriggerAlpha(200_000) }, AdjusterSplay)},
+		{"frozen-after-warmup", compose(func() PolicyTrigger { return TriggerFirst(2000) }, AdjusterSplay)},
+		{"frozen-never", compose(TriggerNever, AdjusterNone)},
+		{"lazy-alpha-rebuild", func() Network {
+			n, err := NewLazyNet(1023, 4, 200_000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return n
+		}},
+	} {
+		b.Run(tc.name, func(b *testing.B) { benchServe(b, tc.mk, tr) })
+	}
+}
+
 // --- Tables 1–7: k-ary SplayNet on each workload (k=3 representative) ---
 
 func BenchmarkTable1HPCKAry(b *testing.B) {

@@ -204,6 +204,11 @@ func runOnly(ctx context.Context, sc experiments.Scale, opt experiments.Options,
 			return err
 		}
 		fmt.Println(a4.Render())
+		a5, err := experiments.AblationPolicyGridCtx(ctx, eng, tr, 4)
+		if err != nil {
+			return err
+		}
+		fmt.Println(a5.Render())
 		opt.Report("ablations done")
 	}
 	return ctx.Err()

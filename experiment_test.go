@@ -24,6 +24,10 @@ func goldenExperiment() *Experiment {
 			{Kind: "centroid", K: 2},
 			{Kind: "splaynet"},
 			{Kind: "full", K: 4},
+			// The policy layer's composability, file-addressable: lazy
+			// k-ary splay (adjust by splaying, but only once 2000 units of
+			// routing cost accumulate).
+			{Kind: "kary", K: 4, Policy: &PolicyDef{Trigger: "alpha", Alpha: 2000, Adjuster: "splay"}},
 		},
 		Traces: []TraceDef{
 			{Kind: "temporal", N: 127, M: 20000, P: 0.75, Seed: 42},

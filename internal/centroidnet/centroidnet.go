@@ -8,18 +8,28 @@
 // within one subtree is served exactly as in k-ary SplayNet; a request
 // across subtrees splays both endpoints to their subtree roots and routes
 // via c1/c2.
+//
+// Since the policy refactor the network is the canonical composition
+//
+//	centroid topology × (policy.Always, centroid splay)
+//
+// where the centroid splay is this package's region-aware Adjuster (the
+// repertoire is a property of the topology, so it lives here, not in
+// internal/policy). Compose builds the same topology under any trigger
+// (periodic or lazy centroid adjustment, frozen centroid topology).
 package centroidnet
 
 import (
 	"fmt"
 
 	"github.com/ksan-net/ksan/internal/core"
-	"github.com/ksan-net/ksan/internal/sim"
+	"github.com/ksan-net/ksan/internal/policy"
 )
 
-// Net is a (k+1)-SplayNet on nodes 1..n.
+// Net is a (k+1)-SplayNet on nodes 1..n: a policy composition over the
+// fixed-region centroid topology.
 type Net struct {
-	t       *core.Tree
+	*policy.Net
 	k       int
 	c1, c2  int
 	regions []region
@@ -37,6 +47,13 @@ type region struct {
 // and c2 = n, where s ≈ (n−2)/(k+1) following the paper's proportions.
 // n must be at least 3 (two centroids plus at least one subtree node).
 func New(n, k int) (*Net, error) {
+	return Compose(fmt.Sprintf("%d-SplayNet", k+1), n, k, policy.Always())
+}
+
+// Compose builds the centroid topology under an arbitrary trigger; the
+// adjuster is always this package's region-aware centroid splay (with
+// policy.Never it simply never runs, freezing the topology).
+func Compose(label string, n, k int, trig policy.Trigger) (*Net, error) {
 	if k < 2 {
 		return nil, fmt.Errorf("centroidnet: arity %d < 2", k)
 	}
@@ -47,7 +64,7 @@ func New(n, k int) (*Net, error) {
 	c1 := smallTotal + 1
 	c2 := n
 
-	net := &Net{t: nil, k: k, c1: c1, c2: c2}
+	net := &Net{k: k, c1: c1, c2: c2}
 	aParts := evenParts(1, smallTotal, k-1)
 	bParts := evenParts(smallTotal+2, n-1, k)
 
@@ -83,7 +100,11 @@ func New(n, k int) (*Net, error) {
 	if err != nil {
 		return nil, fmt.Errorf("centroidnet: %w", err)
 	}
-	net.t = t
+	p, err := policy.New(label, t, trig, adjuster{net})
+	if err != nil {
+		return nil, fmt.Errorf("centroidnet: %w", err)
+	}
+	net.Net = p
 	return net, nil
 }
 
@@ -117,19 +138,6 @@ func evenParts(lo, hi, want int) [][2]int {
 	return parts
 }
 
-// Name implements sim.Network: "3-SplayNet" for k=2, "(k+1)-SplayNet"
-// generally.
-func (net *Net) Name() string { return fmt.Sprintf("%d-SplayNet", net.k+1) }
-
-// N implements sim.Network.
-func (net *Net) N() int { return net.t.N() }
-
-// K returns the arity of the underlying search tree.
-func (net *Net) K() int { return net.k }
-
-// Tree exposes the underlying topology.
-func (net *Net) Tree() *core.Tree { return net.t }
-
 // Centroids returns the ids of the two fixed centroid nodes (c1, c2).
 func (net *Net) Centroids() (int, int) { return net.c1, net.c2 }
 
@@ -146,43 +154,46 @@ func (net *Net) regionOf(id int) int {
 	return -1
 }
 
-// Serve implements sim.Network. Requests within one subtree splay to their
-// LCA as in k-ary SplayNet; requests across subtrees (or touching a
-// centroid) splay each non-centroid endpoint to its subtree root and route
-// via the fixed centroids. c1 and c2 never move.
-func (net *Net) Serve(u, v int) sim.Cost {
-	t := net.t
-	if u == v {
-		return sim.Cost{}
-	}
-	a, b := t.NodeByID(u), t.NodeByID(v)
-	d, w := t.DistanceLCA(a, b)
-	dist := int64(d)
+// adjuster is the centroid topology's repertoire as a policy.Adjuster:
+// requests within one subtree splay to their LCA as in k-ary SplayNet;
+// requests across subtrees (or touching a centroid) splay each
+// non-centroid endpoint to its subtree root and route via the fixed
+// centroids. c1 and c2 never move.
+type adjuster struct{ net *Net }
+
+func (adjuster) Name() string      { return "centroid-splay" }
+func (adjuster) NeedsWindow() bool { return false }
+func (adjuster) NeedsTree() bool   { return true }
+
+func (a adjuster) Adjust(ctx *policy.Ctx) int64 {
+	net := a.net
+	t := ctx.Tree
 	before := t.Rotations()
-	ru, rv := net.regionOf(u), net.regionOf(v)
+	ru, rv := net.regionOf(ctx.U), net.regionOf(ctx.V)
 	switch {
 	case ru == -1 && rv == -1:
 		// centroid to centroid: static.
 	case ru == rv:
-		t.SplayUntilParent(a, w.Parent())
-		t.SplayUntilParent(b, a)
+		t.SplayUntilParent(ctx.A, ctx.W.Parent())
+		t.SplayUntilParent(ctx.B, ctx.A)
 	default:
 		if ru != -1 {
-			net.splayToRegionRoot(a, ru)
+			net.splayToRegionRoot(ctx.A, ru)
 		}
 		if rv != -1 {
-			net.splayToRegionRoot(b, rv)
+			net.splayToRegionRoot(ctx.B, rv)
 		}
 	}
-	return sim.Cost{Routing: dist, Adjust: t.Rotations() - before}
+	return t.Rotations() - before
 }
 
 func (net *Net) splayToRegionRoot(x *core.Node, r int) {
-	anchor := net.t.NodeByID(net.regions[r].anchor)
+	t := net.Tree()
+	anchor := t.NodeByID(net.regions[r].anchor)
 	if x.Parent() == anchor {
 		return
 	}
-	net.t.SplayUntilParent(x, anchor)
+	t.SplayUntilParent(x, anchor)
 }
 
 // CheckInvariants verifies the structural guarantees the heuristic relies
@@ -190,7 +201,7 @@ func (net *Net) splayToRegionRoot(x *core.Node, r int) {
 // of c1, and every region's id set still hangs (entire and alone) below its
 // anchor centroid. Tests call this after serving traces.
 func (net *Net) CheckInvariants() error {
-	t := net.t
+	t := net.Tree()
 	if err := t.Validate(); err != nil {
 		return err
 	}

@@ -11,8 +11,9 @@
 // Determinism contract: every field of Result except the wall-clock pair
 // (Elapsed, Throughput) is identical across runs and across worker counts.
 // Self-adjusting networks are always served sequentially (their state is
-// the experiment); only networks that opt in via sim.BatchServer have
-// their traces sharded across goroutines, and integer cost merging is
+// the experiment); only networks that opt in via sim.BatchServer — and,
+// when they also carry sim.BatchGate, report Batchable — have their
+// traces sharded across goroutines, and integer cost merging is
 // associative, so the totals cannot depend on the sharding.
 package engine
 
@@ -37,6 +38,13 @@ type ChurnReporter interface {
 // edge-churn counters the engine can enable and read.
 type treeHolder interface {
 	Tree() *core.Tree
+}
+
+// edgeTracking matches networks that manage their own per-rotation
+// edge-churn switch (policy nets propagate it across rebuild swaps, so
+// the engine must not reach past them to the current tree).
+type edgeTracking interface {
+	SetTrackEdges(on bool)
 }
 
 // Engine runs traces on networks. Construct with New; the zero value is
@@ -146,17 +154,28 @@ func (e *Engine) runOne(ctx context.Context, net sim.Network, reqs []sim.Request
 		}
 	}
 
+	// Unified churn accounting: first switch rotation-level edge tracking
+	// on (through the network's own toggle when it has one, so the
+	// setting survives rebuild swaps), then pick the counter to read — a
+	// ChurnReporter subsumes the tree counter (policy nets fold both
+	// rebuild churn and rotation churn into LinkChurn), the bare tree
+	// counter covers the rest.
 	var churner ChurnReporter
 	var churnTree *core.Tree
 	var churnBase int64
 	if e.churn {
+		switch n := net.(type) {
+		case edgeTracking:
+			n.SetTrackEdges(true)
+		case treeHolder:
+			n.Tree().SetTrackEdges(true)
+		}
 		switch n := net.(type) {
 		case ChurnReporter:
 			churner = n
 			churnBase = n.LinkChurn()
 		case treeHolder:
 			churnTree = n.Tree()
-			churnTree.SetTrackEdges(true)
 			churnBase = churnTree.EdgeChanges()
 		}
 	}
@@ -183,7 +202,13 @@ func (e *Engine) runOne(ctx context.Context, net sim.Network, reqs []sim.Request
 	}
 	var hist []int64
 	var err error
-	if bs, ok := net.(sim.BatchServer); ok {
+	bs, batch := net.(sim.BatchServer)
+	if batch {
+		if g, ok := net.(sim.BatchGate); ok && !g.Batchable() {
+			batch = false
+		}
+	}
+	if batch {
 		hist, err = e.runBatch(ctx, bs, reqs, warm, &res, emit, shardWorkers)
 	} else {
 		hist, err = e.runSequential(ctx, net, reqs, warm, &res, emit)

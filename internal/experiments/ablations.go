@@ -7,6 +7,7 @@ import (
 	"github.com/ksan-net/ksan/internal/core"
 	"github.com/ksan-net/ksan/internal/engine"
 	"github.com/ksan-net/ksan/internal/karynet"
+	"github.com/ksan-net/ksan/internal/policy"
 	"github.com/ksan-net/ksan/internal/report"
 	"github.com/ksan-net/ksan/internal/workload"
 )
@@ -71,8 +72,11 @@ func AblationSemiSplayOnlyCtx(ctx context.Context, eng *engine.Engine, tr worklo
 		if err != nil {
 			return t, err
 		}
-		semi := karynet.MustNew(tr.N, k)
-		semi.SetSemiSplayOnly(true)
+		semi, err := karynet.Compose(fmt.Sprintf("%d-ary semi-splay", k), tr.N, k,
+			policy.Always(), policy.SemiSplay())
+		if err != nil {
+			return t, err
+		}
 		s, err := eng.Run(ctx, semi, tr.Reqs)
 		if err != nil {
 			return t, err

@@ -168,10 +168,61 @@ func TestAblationsRun(t *testing.T) {
 		{"semi", len(AblationSemiSplayOnly(tr, ks).Rows)},
 		{"block", len(AblationBlockPolicy(tr, ks).Rows)},
 		{"initial", len(AblationInitialTopology(tr, 3).Rows)},
+		{"policy", len(AblationPolicyGrid(tr, 3).Rows)},
 	} {
 		if tbl.rows < 2 {
 			t.Errorf("ablation %s has %d rows", tbl.name, tbl.rows)
 		}
+	}
+}
+
+func TestAblationPolicyGridShapes(t *testing.T) {
+	// The A5 grid must cover the whole plane — the three canonical corners
+	// plus the compositions the policy layer makes free — and its numbers
+	// must show the qualitative story: on a local workload the fully
+	// reactive net beats the frozen topology on routing, the frozen rows
+	// charge no adjustment, and only rebuild rows report rebuild counts.
+	tr := workload.Temporal(64, 6000, 0.75, 8)
+	tbl := AblationPolicyGrid(tr, 3)
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("policy grid has %d rows, want 8", len(tbl.Rows))
+	}
+	cell := func(row []string, col int) int64 {
+		var v int64
+		if _, err := fmt.Sscan(row[col], &v); err != nil {
+			t.Fatalf("bad cell %q: %v", row[col], err)
+		}
+		return v
+	}
+	byTrig := map[string][]string{}
+	for _, row := range tbl.Rows {
+		byTrig[strings.Fields(row[0])[0]+"/"+row[1]] = row
+	}
+	reactive, frozen := byTrig["always/splay"], byTrig["never/none"]
+	warmed := byTrig["first("+fmt.Sprint(int64(tr.Len())/10)+")/splay"]
+	lazySplay := byTrig["alpha("+fmt.Sprint(2*int64(tr.Len()))+")/splay"]
+	rebuild := byTrig["alpha("+fmt.Sprint(2*int64(tr.Len()))+")/rebuild-wb"]
+	for name, row := range map[string][]string{
+		"always×splay": reactive, "never×none": frozen,
+		"first×splay": warmed, "alpha×splay": lazySplay, "alpha×rebuild-wb": rebuild,
+	} {
+		if row == nil {
+			t.Fatalf("grid is missing the %s composition (rows: %v)", name, tbl.Rows)
+		}
+	}
+	if cell(reactive, 2) >= cell(frozen, 2) {
+		t.Errorf("reactive routing %s not below frozen %s on a local workload", reactive[2], frozen[2])
+	}
+	if cell(frozen, 3) != 0 {
+		t.Errorf("frozen row charged adjustment %s", frozen[3])
+	}
+	// Frozen-after-warmup adjusts during the prefix only: its adjustment
+	// cost is positive yet far below the fully reactive net's.
+	if a := cell(warmed, 3); a == 0 || a >= cell(reactive, 3) {
+		t.Errorf("frozen-after-warmup adjustment %s, want in (0, reactive %s)", warmed[3], reactive[3])
+	}
+	if rebuild[5] == "-" || frozen[5] != "-" {
+		t.Errorf("rebuild counts misplaced: rebuild row %q, frozen row %q", rebuild[5], frozen[5])
 	}
 }
 
@@ -221,7 +272,7 @@ func TestRunAllQuickProducesAllSections(t *testing.T) {
 	for _, want := range []string{
 		"Table 1", "Table 2", "Table 3", "Table 4", "Table 5", "Table 6", "Table 7", "Table 8",
 		"Remark 10", "Lemma 9", "Theorem 13",
-		"Ablation A1", "Ablation A2", "Ablation A3", "Ablation A4",
+		"Ablation A1", "Ablation A2", "Ablation A3", "Ablation A4", "Ablation A5",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("suite output missing %q", want)

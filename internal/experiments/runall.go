@@ -110,6 +110,11 @@ func RunSuite(ctx context.Context, w io.Writer, sc Scale, opt Options) error {
 		return err
 	}
 	fmt.Fprintln(w, a4.Render())
+	a5, err := AblationPolicyGridCtx(ctx, eng, abTr, 4)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, a5.Render())
 	opt.Report("ablations done")
 
 	m := int64(abTr.Len())

@@ -4,31 +4,33 @@
 // the lowest common ancestor and v to a child of u, using the
 // identifier-preserving k-splay and k-semi-splay rotations of
 // internal/core. After the adjustment a repeated request costs one hop.
+//
+// Since the policy refactor the package is a thin constructor namespace:
+// the k-ary SplayNet is the canonical composition
+//
+//	balanced k-ary tree × (policy.Always, policy.Splay)
+//
+// and Net is internal/policy's Net. Compose builds any other point of the
+// trigger × adjuster plane on the same topology (the semi-splay ablation
+// is Compose with policy.SemiSplay; the former SetSemiSplayOnly setter is
+// gone).
 package karynet
 
 import (
 	"fmt"
 
 	"github.com/ksan-net/ksan/internal/core"
-	"github.com/ksan-net/ksan/internal/sim"
+	"github.com/ksan-net/ksan/internal/policy"
 )
 
-// Net is a k-ary SplayNet on nodes 1..n.
-type Net struct {
-	t *core.Tree
-	// semiOnly restricts the repertoire to k-semi-splay steps (the
-	// rotation-repertoire ablation).
-	semiOnly bool
-}
+// Net is a k-ary SplayNet on nodes 1..n — a policy composition over the
+// k-ary search tree substrate.
+type Net = policy.Net
 
 // New constructs a k-ary SplayNet with a weakly-complete balanced initial
 // topology, the default starting network of the experiments.
 func New(n, k int) (*Net, error) {
-	t, err := core.NewBalanced(n, k)
-	if err != nil {
-		return nil, fmt.Errorf("karynet: %w", err)
-	}
-	return &Net{t: t}, nil
+	return Compose(fmt.Sprintf("%d-ary SplayNet", k), n, k, policy.Always(), policy.Splay())
 }
 
 // MustNew is New for known-good parameters.
@@ -41,48 +43,27 @@ func MustNew(n, k int) *Net {
 }
 
 // NewFromTree wraps an arbitrary initial topology (the model allows any
-// valid starting network G0).
-func NewFromTree(t *core.Tree) *Net { return &Net{t: t} }
-
-// SetSemiSplayOnly restricts self-adjustment to single k-semi-splay steps;
-// used by the rotation-repertoire ablation.
-func (net *Net) SetSemiSplayOnly(on bool) { net.semiOnly = on }
-
-// Name implements sim.Network.
-func (net *Net) Name() string { return fmt.Sprintf("%d-ary SplayNet", net.t.K()) }
-
-// N implements sim.Network.
-func (net *Net) N() int { return net.t.N() }
-
-// K returns the arity bound of the underlying search tree.
-func (net *Net) K() int { return net.t.K() }
-
-// Tree exposes the underlying topology for inspection and validation.
-func (net *Net) Tree() *core.Tree { return net.t }
-
-// Serve implements sim.Network: the request is routed on the current
-// topology (routing cost = path length), then u is splayed to the position
-// of the lowest common ancestor of u and v, and v is splayed to become a
-// child of u. Each k-splay or k-semi-splay step is charged one unit.
-//
-// Serve is allocation-free and, like every tree-backed serve path, not
-// safe for concurrent calls on the same network: the underlying tree owns
-// the rotation scratch buffers (see DESIGN.md).
-func (net *Net) Serve(u, v int) sim.Cost {
-	t := net.t
-	a, b := t.NodeByID(u), t.NodeByID(v)
-	if a == b {
-		return sim.Cost{}
+// valid starting network G0) as a canonical k-ary SplayNet.
+func NewFromTree(t *core.Tree) *Net {
+	net, err := policy.New(fmt.Sprintf("%d-ary SplayNet", t.K()), t, policy.Always(), policy.Splay())
+	if err != nil {
+		panic(err) // unreachable: the composition is valid by construction
 	}
-	d, w := t.DistanceLCA(a, b)
-	dist := int64(d)
-	before := t.Rotations()
-	if net.semiOnly {
-		t.SemiSplayUntilParent(a, w.Parent())
-		t.SemiSplayUntilParent(b, a)
-	} else {
-		t.SplayUntilParent(a, w.Parent())
-		t.SplayUntilParent(b, a)
+	return net
+}
+
+// Compose builds an arbitrary trigger × adjuster composition on the
+// balanced k-ary topology — the policy plane the trigger×adjuster
+// ablation grid sweeps (lazy k-ary splay, periodic semi-splay,
+// frozen-after-warmup, ...).
+func Compose(label string, n, k int, trig policy.Trigger, adj policy.Adjuster) (*Net, error) {
+	t, err := core.NewBalanced(n, k)
+	if err != nil {
+		return nil, fmt.Errorf("karynet: %w", err)
 	}
-	return sim.Cost{Routing: dist, Adjust: t.Rotations() - before}
+	net, err := policy.New(label, t, trig, adj)
+	if err != nil {
+		return nil, fmt.Errorf("karynet: %w", err)
+	}
+	return net, nil
 }

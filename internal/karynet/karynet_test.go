@@ -6,8 +6,10 @@ import (
 	"testing/quick"
 
 	"github.com/ksan-net/ksan/internal/core"
+	"github.com/ksan-net/ksan/internal/policy"
 	"github.com/ksan-net/ksan/internal/sim"
 	"github.com/ksan-net/ksan/internal/splaynet"
+	"github.com/ksan-net/ksan/internal/workload"
 )
 
 func TestServeMakesPairAdjacent(t *testing.T) {
@@ -125,9 +127,61 @@ func TestBinaryKAryTracksSplayNet(t *testing.T) {
 	}
 }
 
+func TestQuickBinaryKAryMatchesSplayNetRoutingCosts(t *testing.T) {
+	// The documented cross-validation claim (splaynet's package comment):
+	// k-ary SplayNet with k=2 behaves like the independent binary SplayNet
+	// up to rotation tie-breaking. The tie-breaks make the two topologies
+	// drift, so per-request costs are not equal, but the cumulative
+	// routing costs must track each other closely on any workload —
+	// property-checked here across random traces of varied size, locality
+	// and skew, at every prefix past a short burn-in (so a transient
+	// divergence cannot hide inside an agreeing total).
+	f := func(seed int64, nRaw uint8, shape uint8) bool {
+		n := 16 + int(nRaw)%120
+		const m, burnIn = 4000, 500
+		var tr workload.Trace
+		switch shape % 3 {
+		case 0:
+			tr = workload.Uniform(n, m, seed)
+		case 1:
+			tr = workload.Temporal(n, m, 0.6, seed)
+		default:
+			tr = workload.Zipf(n, m, 1.2, seed)
+		}
+		kary := MustNew(n, 2)
+		bin := splaynet.MustNew(n)
+		var kr, br int64
+		for i, rq := range tr.Reqs {
+			kr += kary.Serve(rq.Src, rq.Dst).Routing
+			br += bin.Serve(rq.Src, rq.Dst).Routing
+			if i >= burnIn {
+				if ratio := float64(kr) / float64(br); ratio < 0.7 || ratio > 1.4 {
+					t.Logf("n=%d seed=%d shape=%d: prefix %d cumulative routing ratio %.3f (kary %d, splaynet %d)",
+						n, seed, shape%3, i, ratio, kr, br)
+					return false
+				}
+			}
+		}
+		// The full-trace totals must agree even more tightly.
+		ratio := float64(kr) / float64(br)
+		if ratio < 0.8 || ratio > 1.25 {
+			t.Logf("n=%d seed=%d shape=%d: total routing ratio %.3f", n, seed, shape%3, ratio)
+			return false
+		}
+		return kary.Tree().Validate() == nil && bin.Validate() == nil
+	}
+	// Fixed generator seed: the ratio bounds are empirical envelopes, not
+	// provable invariants, so the checked input set must be reproducible.
+	if err := quick.Check(f, &quick.Config{MaxCount: 15, Rand: rand.New(rand.NewSource(31))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSemiSplayOnlyStillCorrect(t *testing.T) {
-	net := MustNew(100, 3)
-	net.SetSemiSplayOnly(true)
+	net, err := Compose("3-ary semi-splay", 100, 3, policy.Always(), policy.SemiSplay())
+	if err != nil {
+		t.Fatal(err)
+	}
 	rng := rand.New(rand.NewSource(17))
 	for i := 0; i < 200; i++ {
 		u, v := 1+rng.Intn(100), 1+rng.Intn(100)

@@ -7,37 +7,33 @@
 // swaps it in, paying the model's raw reconfiguration cost (the number of
 // links added plus removed).
 //
-// The rebuild subroutine is pluggable: the weight-balanced approximation
-// by default (fast enough to rebuild often), or the exact DP for small
-// networks. This generalizes the paper's "compute the new topology using
-// SplayNet" scheme to arbitrary static builders and provides the
-// reactive-vs-lazy comparison in the experiment suite.
+// Since the policy refactor the lazy network is the canonical composition
+//
+//	balanced k-ary tree × (policy.Alpha(α), policy.Rebuild(weight-balanced))
+//
+// and Net is internal/policy's Net: the α-threshold is a Trigger, the
+// demand-aware recomputation is an Adjuster, and variations — the exact
+// DP builder, hysteresis, periodic instead of cost-triggered rebuilds —
+// are other compositions over the same substrate rather than setters on
+// this type (the former SetBuilder is gone; compose policy.Rebuild with
+// statictree.Optimal instead). Failed rebuilds no longer vanish: the
+// policy net counts them (FailedRebuilds) and keeps the last error
+// (LastFailure), while the topology stays unchanged.
 package lazynet
 
 import (
 	"fmt"
 
 	"github.com/ksan-net/ksan/internal/core"
-	"github.com/ksan-net/ksan/internal/sim"
+	"github.com/ksan-net/ksan/internal/policy"
 	"github.com/ksan-net/ksan/internal/statictree"
-	"github.com/ksan-net/ksan/internal/workload"
 )
 
 // Builder computes a static demand-aware topology for a demand window.
-type Builder func(d *workload.Demand, k int) (*core.Tree, int64, error)
+type Builder = policy.Builder
 
 // Net is a lazily self-adjusting k-ary search tree network.
-type Net struct {
-	n, k    int
-	alpha   int64
-	t       *core.Tree
-	builder Builder
-
-	sinceRebuild int64
-	window       []sim.Request
-	rebuilds     int64
-	churn        int64
-}
+type Net = policy.Net
 
 // New constructs a lazy network with threshold alpha and the
 // weight-balanced rebuild subroutine. The initial topology is the full
@@ -50,7 +46,12 @@ func New(n, k int, alpha int64) (*Net, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lazynet: %w", err)
 	}
-	return &Net{n: n, k: k, alpha: alpha, t: t, builder: statictree.WeightBalanced}, nil
+	net, err := policy.New(fmt.Sprintf("lazy %d-ary net (α=%d)", k, alpha), t,
+		policy.Alpha(alpha), policy.Rebuild("weight-balanced", statictree.WeightBalanced))
+	if err != nil {
+		return nil, fmt.Errorf("lazynet: %w", err)
+	}
+	return net, nil
 }
 
 // MustNew is New for known-good parameters.
@@ -60,95 +61,4 @@ func MustNew(n, k int, alpha int64) *Net {
 		panic(err)
 	}
 	return net
-}
-
-// SetBuilder replaces the rebuild subroutine (e.g. statictree.Optimal for
-// small n).
-func (net *Net) SetBuilder(b Builder) { net.builder = b }
-
-// Name implements sim.Network.
-func (net *Net) Name() string { return fmt.Sprintf("lazy %d-ary net (α=%d)", net.k, net.alpha) }
-
-// N implements sim.Network.
-func (net *Net) N() int { return net.n }
-
-// Rebuilds returns how many reconfigurations have happened.
-func (net *Net) Rebuilds() int64 { return net.rebuilds }
-
-// LinkChurn returns the cumulative number of links added plus removed by
-// reconfigurations, implementing the engine's ChurnReporter extension. The
-// topology object is replaced wholesale on every rebuild, so the engine
-// cannot read churn off a stable tree; the network accounts it itself.
-func (net *Net) LinkChurn() int64 { return net.churn }
-
-// Tree exposes the current topology.
-func (net *Net) Tree() *core.Tree { return net.t }
-
-// Serve implements sim.Network: requests route on the current static
-// topology; once the accumulated routing cost crosses α, the window's
-// demand is solved into a fresh topology and the link churn of the swap is
-// charged as adjustment cost.
-func (net *Net) Serve(u, v int) sim.Cost {
-	dist := int64(net.t.DistanceID(u, v))
-	cost := sim.Cost{Routing: dist}
-	net.sinceRebuild += dist
-	if u != v {
-		net.window = append(net.window, sim.Request{Src: u, Dst: v})
-	}
-	if net.sinceRebuild >= net.alpha && len(net.window) > 0 {
-		cost.Adjust = net.rebuild()
-	}
-	return cost
-}
-
-func (net *Net) rebuild() int64 {
-	d := workload.DemandFromTrace(workload.Trace{N: net.n, Reqs: net.window})
-	fresh, _, err := net.builder(d, net.k)
-	if err != nil {
-		// A failing builder leaves the topology unchanged; this cannot
-		// happen with the stock builders on valid input.
-		net.sinceRebuild = 0
-		net.window = net.window[:0]
-		return 0
-	}
-	churn := linkChurn(net.t, fresh)
-	net.t = fresh
-	net.sinceRebuild = 0
-	net.window = net.window[:0]
-	net.rebuilds++
-	net.churn += churn
-	return churn
-}
-
-// linkChurn counts links added plus removed between two topologies on the
-// same node set (the model's reconfiguration cost).
-func linkChurn(old, fresh *core.Tree) int64 {
-	op := old.Parents()
-	np := fresh.Parents()
-	undirected := func(a, b int) [2]int {
-		if a > b {
-			a, b = b, a
-		}
-		return [2]int{a, b}
-	}
-	oldSet := make(map[[2]int]bool, len(op))
-	for id := 1; id < len(op); id++ {
-		if op[id] != 0 {
-			oldSet[undirected(id, op[id])] = true
-		}
-	}
-	var churn int64
-	for id := 1; id < len(np); id++ {
-		if np[id] == 0 {
-			continue
-		}
-		e := undirected(id, np[id])
-		if oldSet[e] {
-			delete(oldSet, e)
-		} else {
-			churn++ // added
-		}
-	}
-	churn += int64(len(oldSet)) // removed
-	return churn
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/ksan-net/ksan/internal/core"
+	"github.com/ksan-net/ksan/internal/policy"
 	"github.com/ksan-net/ksan/internal/sim"
 	"github.com/ksan-net/ksan/internal/statictree"
 	"github.com/ksan-net/ksan/internal/workload"
@@ -104,8 +105,17 @@ func TestLazyBeatsStaticUnderDrift(t *testing.T) {
 }
 
 func TestExactBuilderForSmallNetworks(t *testing.T) {
-	net := MustNew(24, 3, 300)
-	net.SetBuilder(statictree.Optimal)
+	// The former SetBuilder escape hatch is now a composition: the same
+	// α-trigger with the exact-DP rebuild adjuster.
+	tree, err := core.NewBalanced(24, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := policy.New("lazy exact", tree, policy.Alpha(300),
+		policy.Rebuild("optimal", statictree.Optimal))
+	if err != nil {
+		t.Fatal(err)
+	}
 	tr := workload.ProjecToRLike(24, 3000, 3)
 	sim.Run(net, tr.Reqs)
 	if net.Rebuilds() == 0 {
@@ -113,61 +123,6 @@ func TestExactBuilderForSmallNetworks(t *testing.T) {
 	}
 	if err := net.Tree().Validate(); err != nil {
 		t.Fatal(err)
-	}
-}
-
-func TestLinkChurnProperties(t *testing.T) {
-	// A known-distinct pair must report nonzero churn (random trees below
-	// are almost surely distinct, but only this pair is guaranteed).
-	bal, err := core.NewBalanced(40, 3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	path, err := core.NewPath(40, 3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := linkChurn(bal, path); got == 0 {
-		t.Error("distinct topologies (balanced vs path) reported zero churn")
-	}
-
-	// linkChurn guards the model's reconfiguration cost (the number of links
-	// added plus removed when the lazy net swaps topologies). It is the size
-	// of the symmetric difference of the two undirected link sets, so over
-	// random valid topologies it must be symmetric in its arguments, zero
-	// for identical topologies, bounded by 2(n−1) (both trees have exactly
-	// n−1 links, so at worst all are removed and all are added), and obey
-	// the triangle inequality of symmetric differences.
-	for _, n := range []int{2, 3, 17, 40, 101} {
-		for _, k := range []int{2, 3, 5} {
-			for seed := int64(0); seed < 4; seed++ {
-				a, err := core.NewRandom(n, k, seed)
-				if err != nil {
-					t.Fatal(err)
-				}
-				b, err := core.NewRandom(n, k, seed+100)
-				if err != nil {
-					t.Fatal(err)
-				}
-				c, err := core.NewRandom(n, k, seed+200)
-				if err != nil {
-					t.Fatal(err)
-				}
-				ab, ba := linkChurn(a, b), linkChurn(b, a)
-				if ab != ba {
-					t.Errorf("n=%d k=%d seed=%d: churn not symmetric: %d vs %d", n, k, seed, ab, ba)
-				}
-				if ab < 0 || ab > int64(2*(n-1)) {
-					t.Errorf("n=%d k=%d seed=%d: churn %d outside [0, 2(n-1)=%d]", n, k, seed, ab, 2*(n-1))
-				}
-				if got := linkChurn(a, a); got != 0 {
-					t.Errorf("n=%d k=%d seed=%d: identical topologies churn %d", n, k, seed, got)
-				}
-				if ac, cb := linkChurn(a, c), linkChurn(c, b); ab > ac+cb {
-					t.Errorf("n=%d k=%d seed=%d: triangle inequality violated: %d > %d + %d", n, k, seed, ab, ac, cb)
-				}
-			}
-		}
 	}
 }
 

@@ -1,0 +1,272 @@
+package policy
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/ksan-net/ksan/internal/core"
+	"github.com/ksan-net/ksan/internal/sim"
+	"github.com/ksan-net/ksan/internal/statictree"
+	"github.com/ksan-net/ksan/internal/workload"
+)
+
+// windowCompactLen bounds the raw request window a net retains between
+// adjustments: once the window reaches this length it is aggregated into
+// the running demand (demand aggregation is associative, so chunk-wise
+// compaction is bit-identical to retaining every request) and recycled
+// in place. This caps window memory at O(windowCompactLen + distinct
+// pairs) however rare rebuilds are — the former lazynet kept every raw
+// request since the last rebuild, growing without bound under a large α.
+const windowCompactLen = 1 << 15
+
+// Net is a trigger × adjuster composition over a routed topology. It
+// implements sim.Network, the engine's ChurnReporter, and — for frozen
+// tree-backed compositions — the gated batch surface
+// (sim.BatchServer + sim.BatchGate).
+//
+// Serve is not safe for concurrent use (see the package comment); a
+// frozen net's ServeBatch is, matching statictree.Net.
+type Net struct {
+	name string
+	trig Trigger
+	adj  Adjuster
+
+	t   *core.Tree // tree substrate (nil when top is set)
+	top Topology   // custom substrate
+
+	needsWindow  bool
+	window       []sim.Request
+	compactAfter int              // window length that forces compaction
+	pending      *workload.Demand // compacted aggregate of overflowed window chunks
+
+	rebuilds       int64
+	failedRebuilds int64
+	lastFailure    error
+	churn          int64 // cumulative link churn of tree swaps
+	retiredEdges   int64 // EdgeChanges carried over from swapped-out trees
+	trackEdges     bool
+
+	// Static-stretch fast path: after oracleAfter consecutive declined
+	// requests the tree is provably unchanged for a while, so distance
+	// queries go through the O(1) Euler-tour/RMQ oracle instead of
+	// pointer walks. Any adjustment invalidates it.
+	streak      int
+	oracleAfter int
+	oracle      *statictree.DistIndex
+	batchOnce   sync.Once
+
+	ctx Ctx
+
+	// Churn scratch (see churn.go), recycled across rebuilds.
+	edgesOld, edgesNew []uint64
+}
+
+// New composes a policy net over a core.Tree substrate. The tree is
+// owned by the net from here on: it must only be mutated through Serve
+// (adjusters), or the static-stretch oracle would go stale.
+func New(name string, t *core.Tree, trig Trigger, adj Adjuster) (*Net, error) {
+	if t == nil {
+		return nil, fmt.Errorf("policy: nil tree")
+	}
+	return compose(name, t, nil, trig, adj)
+}
+
+// NewCustom composes a policy net over a custom substrate (e.g. the
+// binary splaynet). Adjusters that need a core.Tree are rejected.
+func NewCustom(name string, top Topology, trig Trigger, adj Adjuster) (*Net, error) {
+	if top == nil {
+		return nil, fmt.Errorf("policy: nil topology")
+	}
+	if adj != nil && adj.NeedsTree() {
+		return nil, fmt.Errorf("policy: adjuster %q requires a core.Tree-backed substrate", adj.Name())
+	}
+	return compose(name, nil, top, trig, adj)
+}
+
+func compose(name string, t *core.Tree, top Topology, trig Trigger, adj Adjuster) (*Net, error) {
+	if trig == nil || adj == nil {
+		return nil, fmt.Errorf("policy: composition needs both a trigger and an adjuster")
+	}
+	p := &Net{
+		name:         name,
+		trig:         trig,
+		adj:          adj,
+		t:            t,
+		top:          top,
+		needsWindow:  adj.NeedsWindow(),
+		compactAfter: windowCompactLen,
+	}
+	if t != nil {
+		// The oracle build is O(n log n); 2n declined requests comfortably
+		// amortize it on every tree size we serve (see DESIGN.md §8).
+		p.oracleAfter = 2*t.N() + 64
+	}
+	p.ctx.net = p
+	return p, nil
+}
+
+// Name implements sim.Network.
+func (p *Net) Name() string { return p.name }
+
+// N implements sim.Network.
+func (p *Net) N() int {
+	if p.t != nil {
+		return p.t.N()
+	}
+	return p.top.N()
+}
+
+// K returns the arity bound of the tree substrate, or 0 for custom
+// substrates.
+func (p *Net) K() int {
+	if p.t != nil {
+		return p.t.K()
+	}
+	return 0
+}
+
+// Tree exposes the current tree substrate for inspection and
+// validation (nil for custom substrates). Mutating it directly voids
+// the static-stretch oracle's soundness.
+func (p *Net) Tree() *core.Tree { return p.t }
+
+// Trigger returns the composed trigger.
+func (p *Net) Trigger() Trigger { return p.trig }
+
+// Adjuster returns the composed adjuster.
+func (p *Net) Adjuster() Adjuster { return p.adj }
+
+// Rebuilds returns how many topology swaps (successful rebuilds) have
+// happened.
+func (p *Net) Rebuilds() int64 { return p.rebuilds }
+
+// FailedRebuilds returns how many adjustments failed (builder errors);
+// each left the topology unchanged and charged nothing.
+func (p *Net) FailedRebuilds() int64 { return p.failedRebuilds }
+
+// LastFailure returns the most recent adjustment failure, or nil.
+func (p *Net) LastFailure() error { return p.lastFailure }
+
+// LinkChurn implements the engine's ChurnReporter with the unified
+// accounting of the policy layer: the link churn of topology swaps plus
+// the per-rotation edge changes of every tree the net has owned (the
+// latter only accumulate while edge tracking is on).
+func (p *Net) LinkChurn() int64 {
+	total := p.churn + p.retiredEdges
+	if p.t != nil {
+		total += p.t.EdgeChanges()
+	}
+	return total
+}
+
+// SetTrackEdges toggles per-rotation edge-churn accounting on the tree
+// substrate, surviving rebuild swaps (each fresh tree inherits the
+// setting). No-op on custom substrates.
+func (p *Net) SetTrackEdges(on bool) {
+	p.trackEdges = on
+	if p.t != nil {
+		p.t.SetTrackEdges(on)
+	}
+}
+
+// Serve implements sim.Network: route the request on the current
+// topology, feed the trigger, and adjust when it fires. Self-loop
+// requests are free and invisible to the policy.
+func (p *Net) Serve(u, v int) sim.Cost {
+	if u == v {
+		return sim.Cost{}
+	}
+	ctx := &p.ctx
+	ctx.U, ctx.V = u, v
+	ctx.Tree, ctx.A, ctx.B, ctx.W = p.t, nil, nil, nil
+	var dist int64
+	switch {
+	case p.t == nil:
+		dist = p.top.Route(u, v, ctx)
+	case p.oracle != nil:
+		dist = p.oracle.Dist(u, v)
+	default:
+		a, b := p.t.NodeByID(u), p.t.NodeByID(v)
+		d, w := p.t.DistanceLCA(a, b)
+		dist = int64(d)
+		ctx.A, ctx.B, ctx.W = a, b, w
+	}
+	ctx.Dist = dist
+	if p.needsWindow {
+		p.window = append(p.window, sim.Request{Src: u, Dst: v})
+	}
+	cost := sim.Cost{Routing: dist}
+	if !p.trig.Observe(dist) {
+		if p.needsWindow && len(p.window) >= p.compactAfter {
+			p.compactWindow()
+		}
+		p.streak++
+		if p.t != nil && p.oracle == nil && p.streak >= p.oracleAfter {
+			p.oracle = statictree.NewDistIndex(p.t)
+		}
+		return cost
+	}
+	if p.t != nil && ctx.A == nil {
+		// The oracle route skipped the splay context; materialize it for
+		// the adjuster (once per static stretch, so the double walk is
+		// noise).
+		a, b := p.t.NodeByID(u), p.t.NodeByID(v)
+		_, w := p.t.DistanceLCA(a, b)
+		ctx.A, ctx.B, ctx.W = a, b, w
+	}
+	ctx.Window = p.window
+	cost.Adjust = p.adj.Adjust(ctx)
+	ctx.Window = nil
+	p.afterAdjust()
+	return cost
+}
+
+// compactWindow folds the raw window into the running demand aggregate
+// and recycles the window in place, bounding window memory between
+// adjustments (see windowCompactLen).
+func (p *Net) compactWindow() {
+	chunk := workload.DemandFromTrace(workload.Trace{N: p.N(), Reqs: p.window})
+	if p.pending == nil {
+		p.pending = chunk
+	} else {
+		p.pending.Merge(chunk)
+	}
+	p.window = p.window[:0]
+}
+
+// afterAdjust starts a fresh measurement stretch: trigger state, request
+// window and its compacted aggregate, and the static-stretch oracle all
+// reset.
+func (p *Net) afterAdjust() {
+	p.trig.Reset()
+	p.streak = 0
+	p.oracle = nil
+	if p.needsWindow {
+		p.window = p.window[:0]
+		p.pending = nil
+	}
+}
+
+// Batchable implements sim.BatchGate: only a frozen composition (Never
+// trigger) on a tree substrate is side-effect-free, so only those may be
+// sharded through the engine's batch path.
+func (p *Net) Batchable() bool {
+	_, frozen := p.trig.(neverTrigger)
+	return frozen && p.t != nil
+}
+
+// ServeBatch implements sim.BatchServer for frozen compositions: the
+// topology can never change, so disjoint request shards are served
+// concurrently against the O(1) distance oracle, exactly like
+// statictree.Net. It panics on a composition that can adjust.
+func (p *Net) ServeBatch(reqs []sim.Request) sim.BatchCost {
+	if !p.Batchable() {
+		panic("policy: ServeBatch on a composition that can adjust")
+	}
+	p.batchOnce.Do(func() {
+		if p.oracle == nil {
+			p.oracle = statictree.NewDistIndex(p.t)
+		}
+	})
+	return p.oracle.ServeBatch(reqs)
+}

@@ -1,0 +1,492 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/ksan-net/ksan/internal/core"
+	"github.com/ksan-net/ksan/internal/sim"
+	"github.com/ksan-net/ksan/internal/statictree"
+	"github.com/ksan-net/ksan/internal/workload"
+)
+
+func mustTree(t *testing.T, n, k int) *core.Tree {
+	t.Helper()
+	tree, err := core.NewBalanced(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestNewRejectsInvalidCompositions(t *testing.T) {
+	tree := mustTree(t, 10, 3)
+	if _, err := New("x", nil, Always(), Splay()); err == nil {
+		t.Error("nil tree accepted")
+	}
+	if _, err := New("x", tree, nil, Splay()); err == nil {
+		t.Error("nil trigger accepted")
+	}
+	if _, err := New("x", tree, Always(), nil); err == nil {
+		t.Error("nil adjuster accepted")
+	}
+	if _, err := NewCustom("x", nil, Always(), None()); err == nil {
+		t.Error("nil topology accepted")
+	}
+	if _, err := NewCustom("x", fakeTopology{}, Always(), Splay()); err == nil {
+		t.Error("tree-needing adjuster on a custom substrate accepted")
+	}
+}
+
+type fakeTopology struct{}
+
+func (fakeTopology) N() int                       { return 4 }
+func (fakeTopology) Route(u, v int, _ *Ctx) int64 { return 1 }
+
+func TestCanonicalSplayComposition(t *testing.T) {
+	// always × splay over a balanced tree is the k-ary SplayNet: after a
+	// serve the pair is adjacent and the routing cost is the
+	// pre-adjustment distance.
+	for _, k := range []int{2, 3, 5} {
+		net, err := New("kary", mustTree(t, 120, k), Always(), Splay())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(k)))
+		for i := 0; i < 300; i++ {
+			u, v := 1+rng.Intn(120), 1+rng.Intn(120)
+			if u == v {
+				continue
+			}
+			want := int64(net.Tree().DistanceID(u, v))
+			c := net.Serve(u, v)
+			if c.Routing != want {
+				t.Fatalf("k=%d: routing %d, want pre-adjustment distance %d", k, c.Routing, want)
+			}
+			if d := net.Tree().DistanceID(u, v); d != 1 {
+				t.Fatalf("k=%d: pair at distance %d after serve", k, d)
+			}
+		}
+		if err := net.Tree().Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// refLazy replays the pre-policy lazynet serve loop verbatim (DistanceID
+// routing, map-based link churn, window and threshold bookkeeping): the
+// alpha × rebuild composition must be bit-identical to it, request by
+// request.
+type refLazy struct {
+	n, k         int
+	alpha        int64
+	t            *core.Tree
+	sinceRebuild int64
+	window       []sim.Request
+	rebuilds     int64
+	churn        int64
+}
+
+func (r *refLazy) serve(u, v int) sim.Cost {
+	dist := int64(r.t.DistanceID(u, v))
+	cost := sim.Cost{Routing: dist}
+	r.sinceRebuild += dist
+	if u != v {
+		r.window = append(r.window, sim.Request{Src: u, Dst: v})
+	}
+	if r.sinceRebuild >= r.alpha && len(r.window) > 0 {
+		d := workload.DemandFromTrace(workload.Trace{N: r.n, Reqs: r.window})
+		fresh, _, err := statictree.WeightBalanced(d, r.k)
+		if err == nil {
+			ch := mapLinkChurn(r.t, fresh)
+			r.t = fresh
+			r.rebuilds++
+			r.churn += ch
+			cost.Adjust = ch
+		}
+		r.sinceRebuild = 0
+		r.window = r.window[:0]
+	}
+	return cost
+}
+
+func TestLazyCompositionBitIdenticalToReferenceLoop(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		n, k, alpha := 60, 3, int64(900)
+		ref := &refLazy{n: n, k: k, alpha: alpha, t: mustTree(t, n, k)}
+		net, err := New("lazy", mustTree(t, n, k), Alpha(alpha),
+			Rebuild("weight-balanced", statictree.WeightBalanced))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 12000; i++ {
+			u, v := 1+rng.Intn(n), 1+rng.Intn(n)
+			if i%37 == 0 {
+				v = u // self-loops must be free and invisible to the policy
+			}
+			got, want := net.Serve(u, v), ref.serve(u, v)
+			if got != want {
+				t.Fatalf("seed=%d request %d (%d→%d): policy %+v, reference %+v", seed, i, u, v, got, want)
+			}
+		}
+		if net.Rebuilds() == 0 {
+			t.Fatal("trace produced no rebuilds; the equivalence test is vacuous")
+		}
+		if net.Rebuilds() != ref.rebuilds || net.LinkChurn() != ref.churn {
+			t.Errorf("seed=%d: rebuilds/churn %d/%d, reference %d/%d",
+				seed, net.Rebuilds(), net.LinkChurn(), ref.rebuilds, ref.churn)
+		}
+	}
+}
+
+func TestOracleRoutesBitIdentically(t *testing.T) {
+	// The static-stretch oracle is a pure routing accelerator: with the
+	// build threshold forced to 1 and to never, a deferred composition
+	// must produce identical cost streams and identical final topologies.
+	mk := func() *Net {
+		net, err := New("periodic", mustTree(t, 90, 3), EveryM(256), Splay())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+	eager, lazy := mk(), mk()
+	eager.oracleAfter = 1
+	lazy.oracleAfter = 1 << 60
+	rng := rand.New(rand.NewSource(11))
+	sawOracle := false
+	for i := 0; i < 6000; i++ {
+		u, v := 1+rng.Intn(90), 1+rng.Intn(90)
+		ce, cl := eager.Serve(u, v), lazy.Serve(u, v)
+		if ce != cl {
+			t.Fatalf("request %d (%d→%d): oracle path %+v, walk path %+v", i, u, v, ce, cl)
+		}
+		if eager.oracle != nil {
+			sawOracle = true
+		}
+	}
+	if !sawOracle {
+		t.Fatal("the eager net never built its oracle; the test exercised nothing")
+	}
+	if err := eager.Tree().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ep, lp := eager.Tree().Parents(), lazy.Tree().Parents()
+	for id := range ep {
+		if ep[id] != lp[id] {
+			t.Fatalf("final topologies diverge at node %d", id)
+		}
+	}
+}
+
+func TestFrozenAfterWarmupFreezes(t *testing.T) {
+	net, err := New("warmup", mustTree(t, 64, 3), First(500), Splay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := workload.Temporal(64, 4000, 0.6, 7)
+	var adjustAfterPrefix int64
+	seen := 0
+	for _, rq := range tr.Reqs {
+		c := net.Serve(rq.Src, rq.Dst)
+		if rq.Src != rq.Dst {
+			seen++
+		}
+		if seen > 500 {
+			adjustAfterPrefix += c.Adjust
+		}
+	}
+	if adjustAfterPrefix != 0 {
+		t.Errorf("adjusted (cost %d) after the warmup prefix", adjustAfterPrefix)
+	}
+	if net.Tree().Rotations() == 0 {
+		t.Error("never adjusted during the warmup prefix")
+	}
+	// The frozen stretch is long, so the oracle must have kicked in.
+	if net.oracle == nil {
+		t.Error("frozen stretch did not engage the distance oracle")
+	}
+	if err := net.Tree().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrozenBatchMatchesSequentialAndGates(t *testing.T) {
+	reqs := workload.Uniform(77, 8000, 5).Reqs
+	frozen, err := New("frozen", mustTree(t, 77, 3), Never(), None())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !frozen.Batchable() {
+		t.Fatal("frozen tree composition must be batchable")
+	}
+	bc := frozen.ServeBatch(reqs)
+	seq, err := New("frozen-seq", mustTree(t, 77, 3), Never(), None())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var routing int64
+	for _, rq := range reqs {
+		c := seq.Serve(rq.Src, rq.Dst)
+		routing += c.Routing
+		if c.Adjust != 0 {
+			t.Fatal("frozen composition adjusted")
+		}
+	}
+	if bc.Routing != routing || bc.Adjust != 0 {
+		t.Errorf("batch %d/%d, sequential %d/0", bc.Routing, bc.Adjust, routing)
+	}
+
+	adjusting, err := New("kary", mustTree(t, 77, 3), Always(), Splay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adjusting.Batchable() {
+		t.Error("always × splay must not be batchable")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ServeBatch on an adjusting composition did not panic")
+			}
+		}()
+		adjusting.ServeBatch(reqs[:1])
+	}()
+
+	// A frozen custom substrate has no oracle and must stay sequential.
+	custom, err := NewCustom("custom", fakeTopology{}, Never(), None())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if custom.Batchable() {
+		t.Error("custom-substrate composition must not be batchable")
+	}
+}
+
+func TestFailedRebuildSurfacedAndHarmless(t *testing.T) {
+	boom := errors.New("builder exploded")
+	failing := func(*workload.Demand, int) (*core.Tree, int64, error) { return nil, 0, boom }
+	net, err := New("fragile", mustTree(t, 30, 3), EveryM(10), Rebuild("failing", failing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := net.Tree()
+	rng := rand.New(rand.NewSource(3))
+	var adjust int64
+	for i := 0; i < 100; i++ {
+		u, v := 1+rng.Intn(30), 1+rng.Intn(30)
+		if u == v {
+			continue
+		}
+		adjust += net.Serve(u, v).Adjust
+	}
+	if adjust != 0 {
+		t.Errorf("failed rebuilds charged %d adjustment", adjust)
+	}
+	if net.Rebuilds() != 0 {
+		t.Errorf("failed rebuilds counted as rebuilds: %d", net.Rebuilds())
+	}
+	if net.FailedRebuilds() < 2 {
+		t.Errorf("only %d failures recorded; the every(10) trigger must have fired repeatedly", net.FailedRebuilds())
+	}
+	if !errors.Is(net.LastFailure(), boom) {
+		t.Errorf("LastFailure %v does not wrap the builder error", net.LastFailure())
+	}
+	if net.Tree() != before {
+		t.Error("failed rebuild replaced the topology")
+	}
+}
+
+func TestWindowRecycledAndCapped(t *testing.T) {
+	// Small windows: the backing array is reused between rebuilds.
+	small, err := New("small", mustTree(t, 20, 2), EveryM(100),
+		Rebuild("weight-balanced", statictree.WeightBalanced))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	serveDistinct := func(p *Net, m int) {
+		n := p.N()
+		for i := 0; i < m; i++ {
+			u := 1 + rng.Intn(n)
+			v := 1 + rng.Intn(n)
+			if u == v {
+				v = 1 + v%n
+			}
+			p.Serve(u, v)
+		}
+	}
+	serveDistinct(small, 100)
+	if small.Rebuilds() != 1 {
+		t.Fatalf("expected exactly one rebuild, got %d", small.Rebuilds())
+	}
+	if len(small.window) != 0 {
+		t.Errorf("window not reset after rebuild: %d entries", len(small.window))
+	}
+	capBefore := cap(small.window)
+	if capBefore == 0 {
+		t.Fatal("recyclable window capacity was dropped")
+	}
+	serveDistinct(small, 100)
+	if got := cap(small.window); got != capBefore {
+		t.Errorf("window capacity not recycled: %d then %d", capBefore, got)
+	}
+
+	// Long stretches compact into the running demand instead of growing
+	// the raw window without bound: the window length stays under the
+	// compaction threshold however rare adjustments are, and the
+	// aggregate is released once the rebuild consumes it.
+	big, err := New("big", mustTree(t, 20, 2), EveryM(1000),
+		Rebuild("weight-balanced", statictree.WeightBalanced))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big.compactAfter = 64
+	serveDistinct(big, 999)
+	if len(big.window) >= 64 {
+		t.Errorf("window grew to %d entries despite compactAfter=64", len(big.window))
+	}
+	if big.pending == nil {
+		t.Fatal("no compacted aggregate despite overflowing the window")
+	}
+	if got := big.pending.Total + int64(len(big.window)); got != 999 {
+		t.Errorf("aggregate + window covers %d requests, want 999", got)
+	}
+	serveDistinct(big, 1)
+	if big.Rebuilds() != 1 {
+		t.Fatalf("expected exactly one rebuild, got %d", big.Rebuilds())
+	}
+	if big.pending != nil {
+		t.Error("compacted aggregate retained after the rebuild consumed it")
+	}
+}
+
+func TestCompactedWindowBitIdenticalToUnbounded(t *testing.T) {
+	// Chunk-wise demand compaction must not change a single rebuild: a
+	// net forced to compact every 64 requests serves bit-identically to
+	// the unbounded-window reference loop.
+	n, k, alpha := 48, 3, int64(2500)
+	ref := &refLazy{n: n, k: k, alpha: alpha, t: mustTree(t, n, k)}
+	net, err := New("compacting", mustTree(t, n, k), Alpha(alpha),
+		Rebuild("weight-balanced", statictree.WeightBalanced))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.compactAfter = 64
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 10000; i++ {
+		u, v := 1+rng.Intn(n), 1+rng.Intn(n)
+		got, want := net.Serve(u, v), ref.serve(u, v)
+		if got != want {
+			t.Fatalf("request %d (%d→%d): compacting net %+v, reference %+v", i, u, v, got, want)
+		}
+	}
+	if net.Rebuilds() == 0 {
+		t.Fatal("no rebuilds; compaction was never consumed")
+	}
+}
+
+func TestUnifiedChurnAccounting(t *testing.T) {
+	// Splay-family composition: LinkChurn must equal the tree's edge-churn
+	// counter once tracking is on.
+	splaying, err := New("kary", mustTree(t, 40, 3), Always(), Splay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	splaying.SetTrackEdges(true)
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 500; i++ {
+		splaying.Serve(1+rng.Intn(40), 1+rng.Intn(40))
+	}
+	if splaying.LinkChurn() == 0 {
+		t.Fatal("rotations produced no tracked edge churn")
+	}
+	if got, want := splaying.LinkChurn(), splaying.Tree().EdgeChanges(); got != want {
+		t.Errorf("LinkChurn %d != tree edge changes %d", got, want)
+	}
+
+	// Rebuild composition: tracking survives topology swaps and LinkChurn
+	// totals swap churn plus (zero) rotation churn.
+	lazy, err := New("lazy", mustTree(t, 40, 3), Alpha(300),
+		Rebuild("weight-balanced", statictree.WeightBalanced))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy.SetTrackEdges(true)
+	var adjust int64
+	for i := 0; i < 3000; i++ {
+		u, v := 1+rng.Intn(40), 1+rng.Intn(40)
+		adjust += lazy.Serve(u, v).Adjust
+	}
+	if lazy.Rebuilds() == 0 {
+		t.Fatal("no rebuilds")
+	}
+	if got := lazy.LinkChurn(); got != adjust {
+		t.Errorf("LinkChurn %d != summed rebuild churn %d", got, adjust)
+	}
+}
+
+func TestCompositionAccessorsAndNames(t *testing.T) {
+	net, err := New("my net", mustTree(t, 12, 4), EveryM(2), SemiSplay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Name() != "my net" || net.N() != 12 || net.K() != 4 {
+		t.Errorf("accessors: %q n=%d k=%d", net.Name(), net.N(), net.K())
+	}
+	if net.Trigger().Name() != "every(2)" || net.Adjuster().Name() != "semi-splay" {
+		t.Errorf("composition names %q × %q", net.Trigger().Name(), net.Adjuster().Name())
+	}
+	var _ sim.Network = net
+	var _ sim.BatchServer = net
+	var _ sim.BatchGate = net
+}
+
+func TestSelfLoopsInvisibleToPolicy(t *testing.T) {
+	net, err := New("every", mustTree(t, 10, 2), EveryM(3), Splay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two distinct requests, then a burst of self-loops: the third
+	// distinct request must be the one that fires.
+	net.Serve(1, 5)
+	net.Serve(2, 7)
+	for i := 0; i < 10; i++ {
+		if c := net.Serve(4, 4); c != (sim.Cost{}) {
+			t.Fatalf("self-loop cost %+v", c)
+		}
+	}
+	if got := net.Tree().Rotations(); got != 0 {
+		t.Fatalf("self-loops advanced the trigger: %d rotations before the third distinct request", got)
+	}
+	if c := net.Serve(3, 9); c.Adjust == 0 {
+		t.Error("third distinct request did not fire the every(3) trigger")
+	}
+}
+
+func TestComposedNameFormatting(t *testing.T) {
+	// The Name strings feed grid labels; pin the format the spec layer
+	// builds on.
+	for _, tc := range []struct {
+		trig Trigger
+		want string
+	}{
+		{EveryM(12), "every(12)"},
+		{Alpha(2000), "alpha(2000)"},
+		{AlphaHysteresis(2000, 64), "alpha(2000,cd=64)"},
+		{First(99), "first(99)"},
+	} {
+		if got := tc.trig.Name(); got != tc.want {
+			t.Errorf("trigger name %q, want %q", got, tc.want)
+		}
+	}
+	if got := Rebuild("weight-balanced", statictree.WeightBalanced).Name(); got != "weight-balanced" {
+		t.Errorf("rebuild name %q", got)
+	}
+	if got := fmt.Sprintf("%s×%s", Always().Name(), Splay().Name()); got != "always×splay" {
+		t.Errorf("composition label %q", got)
+	}
+}

@@ -1,0 +1,114 @@
+package policy
+
+import "testing"
+
+func fireSequence(tr Trigger, dists []int64, resetOnFire bool) []bool {
+	out := make([]bool, len(dists))
+	for i, d := range dists {
+		out[i] = tr.Observe(d)
+		if out[i] && resetOnFire {
+			tr.Reset()
+		}
+	}
+	return out
+}
+
+func eq(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAlwaysAndNever(t *testing.T) {
+	ds := []int64{1, 5, 0, 3}
+	if got := fireSequence(Always(), ds, true); !eq(got, []bool{true, true, true, true}) {
+		t.Errorf("always fired %v", got)
+	}
+	if got := fireSequence(Never(), ds, true); !eq(got, []bool{false, false, false, false}) {
+		t.Errorf("never fired %v", got)
+	}
+	if Always().Name() != "always" || Never().Name() != "never" {
+		t.Error("bad trigger names")
+	}
+}
+
+func TestEveryM(t *testing.T) {
+	got := fireSequence(EveryM(3), []int64{1, 1, 1, 1, 1, 1, 1}, true)
+	want := []bool{false, false, true, false, false, true, false}
+	if !eq(got, want) {
+		t.Errorf("every(3) fired %v, want %v", got, want)
+	}
+	if got := fireSequence(EveryM(1), []int64{9, 9}, true); !eq(got, []bool{true, true}) {
+		t.Errorf("every(1) is not always: %v", got)
+	}
+	if EveryM(4).Name() != "every(4)" {
+		t.Errorf("name %q", EveryM(4).Name())
+	}
+}
+
+func TestAlphaAccumulatesCost(t *testing.T) {
+	// Fires exactly when the accumulated routing cost reaches the
+	// threshold; zero-cost observations never push it over.
+	got := fireSequence(Alpha(10), []int64{4, 0, 5, 1, 7, 2, 9}, true)
+	want := []bool{false, false, false, true, false, false, true}
+	if !eq(got, want) {
+		t.Errorf("alpha(10) fired %v, want %v", got, want)
+	}
+	if Alpha(500).Name() != "alpha(500)" {
+		t.Errorf("name %q", Alpha(500).Name())
+	}
+}
+
+func TestAlphaHysteresisCooldown(t *testing.T) {
+	// The trigger starts armed (the cooldown is a re-arm delay between
+	// adjustments, not a startup mute), so the first crossing fires
+	// immediately; afterwards a crossing must wait out the cooldown, and
+	// the accumulated cost is not forgotten in the meanwhile.
+	tr := AlphaHysteresis(5, 3)
+	got := fireSequence(tr, []int64{9, 9, 9, 9, 9, 9, 9}, true)
+	// Fires on request 0 (armed), then every 3 requests (acc re-crosses
+	// instantly, the cooldown gates).
+	want := []bool{true, false, false, true, false, false, true}
+	if !eq(got, want) {
+		t.Errorf("alpha(5,cd=3) fired %v, want %v", got, want)
+	}
+	if AlphaHysteresis(5, 3).Name() != "alpha(5,cd=3)" {
+		t.Errorf("name %q", AlphaHysteresis(5, 3).Name())
+	}
+}
+
+func TestFirstFreezesAfterPrefix(t *testing.T) {
+	got := fireSequence(First(3), []int64{1, 1, 1, 1, 1, 1}, true)
+	want := []bool{true, true, true, false, false, false}
+	if !eq(got, want) {
+		t.Errorf("first(3) fired %v, want %v (Reset must not re-open the prefix)", got, want)
+	}
+	if First(7).Name() != "first(7)" {
+		t.Errorf("name %q", First(7).Name())
+	}
+}
+
+func TestTriggerConstructorsPanicOnBadParams(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"EveryM(0)":              func() { EveryM(0) },
+		"First(0)":               func() { First(0) },
+		"Alpha(0)":               func() { Alpha(0) },
+		"AlphaHysteresis(5, -1)": func() { AlphaHysteresis(5, -1) },
+		"Rebuild(nil)":           func() { Rebuild("x", nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -117,6 +117,16 @@ type BatchServer interface {
 	ServeBatch(reqs []Request) BatchCost
 }
 
+// BatchGate optionally refines BatchServer for networks whose batch
+// capability is a runtime property rather than a structural one: a
+// policy-composed network, for example, carries ServeBatch on its type
+// but is only safely shardable when its trigger can never fire. The
+// engine takes the batch path only when Batchable reports true; a
+// BatchServer without this interface is an unconditional commitment.
+type BatchGate interface {
+	Batchable() bool
+}
+
 // Run serves every request of the trace on the network and returns the
 // aggregated cost. It is the compatibility wrapper around the historical
 // seed loop; the richer streaming engine lives in internal/engine.

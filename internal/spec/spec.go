@@ -26,9 +26,11 @@ import (
 	"sync"
 
 	"github.com/ksan-net/ksan/internal/centroidnet"
+	"github.com/ksan-net/ksan/internal/core"
 	"github.com/ksan-net/ksan/internal/engine"
 	"github.com/ksan-net/ksan/internal/karynet"
 	"github.com/ksan-net/ksan/internal/lazynet"
+	"github.com/ksan-net/ksan/internal/policy"
 	"github.com/ksan-net/ksan/internal/sim"
 	"github.com/ksan-net/ksan/internal/splaynet"
 	"github.com/ksan-net/ksan/internal/statictree"
@@ -46,14 +48,56 @@ import (
 //	centroid-tree — the static centroid k-ary tree (K ≥ 2)
 //	uniform-opt   — the static uniform-optimal k-ary tree (K ≥ 2)
 //
-// Name optionally overrides the grid label (progress events); the network's
-// own Name() still labels results, except for the static kinds, whose
-// wrapped tree takes the label as its name.
+// Every builtin kind except lazy additionally accepts a Policy: the kind
+// then only names the topology family, and the policy picks the point of
+// the trigger × adjuster plane served on it (see PolicyDef). Without a
+// policy each kind is its canonical composition — kary/centroid/splaynet
+// are fully reactive (always × their splay), the static kinds are frozen
+// (never × none). The lazy kind is itself the canonical
+// kary × (alpha, rebuild-wb) composition, so it rejects a policy; spell
+// variations as kary defs with an explicit policy.
+//
+// Name optionally overrides the grid label (progress events) and the
+// network's report name.
 type NetworkDef struct {
-	Kind  string `json:"kind"`
-	Name  string `json:"name,omitempty"`
-	K     int    `json:"k,omitempty"`
-	Alpha int64  `json:"alpha,omitempty"`
+	Kind   string     `json:"kind"`
+	Name   string     `json:"name,omitempty"`
+	K      int        `json:"k,omitempty"`
+	Alpha  int64      `json:"alpha,omitempty"`
+	Policy *PolicyDef `json:"policy,omitempty"`
+}
+
+// PolicyDef selects a trigger × adjuster composition for a network def's
+// topology. Triggers and the parameters they read:
+//
+//	always — adjust after every request (no parameters)
+//	never  — frozen topology (no parameters)
+//	every  — adjust on every M-th request (M ≥ 1)
+//	first  — adjust on each of the first M requests, then freeze (M ≥ 1)
+//	alpha  — adjust once the routing cost since the last adjustment
+//	         reaches Alpha (Alpha ≥ 1; Cooldown ≥ 0 adds a re-arm delay
+//	         of that many requests, the hysteresis damping)
+//
+// Adjusters (availability depends on the kind — the repertoire is a
+// property of the topology):
+//
+//	splay       — full k-splay (kary and the static-tree kinds), the
+//	              centroid repertoire (centroid), or the binary double
+//	              splay (splaynet)
+//	semi-splay  — single k-semi-splay steps (kary and static-tree kinds)
+//	rebuild-wb  — weight-balanced whole-topology rebuild from the
+//	              observed demand window (kary and static-tree kinds)
+//	rebuild-opt — exact-DP rebuild, small networks (same kinds)
+//	none        — no adjustment; exactly paired with trigger "never"
+//	              (a firing trigger with no adjuster, or a frozen
+//	              trigger with one, describes a different experiment
+//	              than the one that would run, so both are rejected)
+type PolicyDef struct {
+	Trigger  string `json:"trigger"`
+	M        int64  `json:"m,omitempty"`
+	Alpha    int64  `json:"alpha,omitempty"`
+	Cooldown int64  `json:"cooldown,omitempty"`
+	Adjuster string `json:"adjuster"`
 }
 
 // TraceDef declares one workload trace by registered kind. The builtin
@@ -326,6 +370,106 @@ func Decode(r io.Reader) (*Experiment, error) {
 	return &x, nil
 }
 
+// --- policy defs ---
+
+// policyTriggers and policyAdjusters list the registered names for error
+// messages.
+var policyTriggers = []string{"always", "never", "every", "first", "alpha"}
+
+// check validates the trigger and its parameters (strict both ways, like
+// the kind checks: set-but-unread parameters are rejected) and that the
+// adjuster is one the kind's topology supports.
+func (pd *PolicyDef) check(kind string, adjusters ...string) error {
+	switch pd.Trigger {
+	case "always", "never":
+		if pd.M != 0 || pd.Alpha != 0 || pd.Cooldown != 0 {
+			return fmt.Errorf("spec: policy trigger %q takes no parameters, got m=%d alpha=%d cooldown=%d",
+				pd.Trigger, pd.M, pd.Alpha, pd.Cooldown)
+		}
+	case "every", "first":
+		if pd.M < 1 {
+			return fmt.Errorf("spec: policy trigger %q needs m >= 1, got %d", pd.Trigger, pd.M)
+		}
+		if pd.Alpha != 0 || pd.Cooldown != 0 {
+			return fmt.Errorf("spec: policy trigger %q does not read alpha/cooldown (got %d/%d)",
+				pd.Trigger, pd.Alpha, pd.Cooldown)
+		}
+	case "alpha":
+		if pd.Alpha < 1 {
+			return fmt.Errorf("spec: policy trigger \"alpha\" needs alpha >= 1, got %d", pd.Alpha)
+		}
+		if pd.M != 0 {
+			return fmt.Errorf("spec: policy trigger \"alpha\" does not read m (got %d)", pd.M)
+		}
+		if pd.Cooldown < 0 {
+			return fmt.Errorf("spec: policy trigger \"alpha\" needs cooldown >= 0, got %d", pd.Cooldown)
+		}
+	default:
+		return fmt.Errorf("spec: unknown policy trigger %q (registered: %v)", pd.Trigger, policyTriggers)
+	}
+	found := false
+	for _, a := range adjusters {
+		if a == pd.Adjuster {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("spec: network kind %q supports policy adjusters %v, got %q", kind, adjusters, pd.Adjuster)
+	}
+	if frozen := pd.Trigger == "never"; frozen != (pd.Adjuster == "none") {
+		return fmt.Errorf("spec: policy adjuster \"none\" pairs exactly with trigger \"never\" (got %s × %s)",
+			pd.Trigger, pd.Adjuster)
+	}
+	return nil
+}
+
+// trigger materializes a fresh trigger instance. Triggers are stateful,
+// so this must be called once per constructed network, never shared
+// across grid cells. It assumes check passed.
+func (pd *PolicyDef) trigger() policy.Trigger {
+	switch pd.Trigger {
+	case "always":
+		return policy.Always()
+	case "never":
+		return policy.Never()
+	case "every":
+		return policy.EveryM(pd.M)
+	case "first":
+		return policy.First(pd.M)
+	case "alpha":
+		return policy.AlphaHysteresis(pd.Alpha, pd.Cooldown)
+	}
+	panic(fmt.Sprintf("spec: unchecked policy trigger %q", pd.Trigger))
+}
+
+// treeAdjuster materializes the adjuster for a core.Tree-backed kind. It
+// assumes check passed with the tree adjuster set.
+func (pd *PolicyDef) treeAdjuster() policy.Adjuster {
+	switch pd.Adjuster {
+	case "splay":
+		return policy.Splay()
+	case "semi-splay":
+		return policy.SemiSplay()
+	case "rebuild-wb":
+		return policy.Rebuild("weight-balanced", statictree.WeightBalanced)
+	case "rebuild-opt":
+		return policy.Rebuild("optimal", statictree.Optimal)
+	case "none":
+		return policy.None()
+	}
+	panic(fmt.Sprintf("spec: unchecked policy adjuster %q", pd.Adjuster))
+}
+
+// label renders the composition suffix appended to a kind's base label,
+// e.g. "4-ary SplayNet [alpha(2000)×splay]".
+func (pd *PolicyDef) label(base string) string {
+	return fmt.Sprintf("%s [%s×%s]", base, pd.trigger().Name(), pd.Adjuster)
+}
+
+// treeAdjusterNames is the adjuster repertoire of the generic
+// core.Tree-backed kinds (kary and the static-tree kinds).
+var treeAdjusterNames = []string{"splay", "semi-splay", "rebuild-wb", "rebuild-opt", "none"}
+
 // --- builtin kinds ---
 
 // registerBuiltinNetwork wraps the builder with an eager parameter check,
@@ -424,33 +568,112 @@ func makeNet(build func(n int) (sim.Network, error)) func(n int) sim.Network {
 	}
 }
 
-// staticSpec wraps a tree builder as a batch-capable static network spec.
-func staticSpec(label string, build func(n int) (*statictree.Net, error)) engine.NetworkSpec {
-	return engine.NetworkSpec{Name: label, Make: makeNet(func(n int) (sim.Network, error) {
-		return build(n)
-	})}
+// treeSpec resolves a kind whose topology is a bare core.Tree (the
+// static-tree kinds): without a policy the canonical composition is the
+// frozen corner (never × none) — a batch-capable static network exactly
+// like before the policy layer existed — and with one, the same topology
+// self-adjusts under the chosen trigger × adjuster. d.Name overrides the
+// label; a composed default label carries the composition suffix.
+func treeSpec(d NetworkDef, defaultLabel string, build func(n int) (*core.Tree, error)) (engine.NetworkSpec, error) {
+	label := d.Name
+	if label == "" {
+		label = defaultLabel
+	}
+	mk := func() (policy.Trigger, policy.Adjuster) { return policy.Never(), policy.None() }
+	if d.Policy != nil {
+		if err := d.Policy.check(d.Kind, treeAdjusterNames...); err != nil {
+			return engine.NetworkSpec{}, err
+		}
+		pd := d.Policy
+		if d.Name == "" {
+			label = pd.label(defaultLabel)
+		}
+		mk = func() (policy.Trigger, policy.Adjuster) { return pd.trigger(), pd.treeAdjuster() }
+	}
+	lbl := label
+	return engine.NetworkSpec{Name: lbl, Make: makeNet(func(n int) (sim.Network, error) {
+		t, err := build(n)
+		if err != nil {
+			return nil, err
+		}
+		trig, adj := mk()
+		return policy.New(lbl, t, trig, adj)
+	})}, nil
 }
+
+// policyKindSpec resolves a kind with a canonical (no-policy) spec and
+// per-cell policy compositions: adjusters lists the kind's repertoire,
+// canonical builds the bare spec, compose builds one network of the
+// checked composition (labels follow base + the composition suffix,
+// overridden by d.Name).
+func policyKindSpec(d NetworkDef, base string, adjusters []string,
+	canonical func() engine.NetworkSpec,
+	compose func(label string, pd *PolicyDef, n int) (sim.Network, error)) (engine.NetworkSpec, error) {
+	pd := d.Policy
+	if pd == nil {
+		if d.Name == "" {
+			return canonical(), nil
+		}
+		// A named canonical def builds through the compose path so the
+		// override labels results too, not just the grid: the canonical
+		// composition (always × the kind's own splay) is bit-identical
+		// to the bare constructor, only the label differs.
+		pd = &PolicyDef{Trigger: "always", Adjuster: "splay"}
+	} else if err := pd.check(d.Kind, adjusters...); err != nil {
+		return engine.NetworkSpec{}, err
+	}
+	label := pd.label(base)
+	if d.Name != "" {
+		label = d.Name
+	}
+	return engine.NetworkSpec{
+		Name: label,
+		Make: makeNet(func(n int) (sim.Network, error) { return compose(label, pd, n) }),
+	}, nil
+}
+
+// triggerOnlyAdjusters is the repertoire of kinds whose adjustment rule
+// lives in the topology (centroid, splaynet): only the trigger axis
+// composes.
+var triggerOnlyAdjusters = []string{"splay", "none"}
 
 func init() {
 	registerBuiltinNetwork("kary", needK("kary"), func(d NetworkDef) (engine.NetworkSpec, error) {
 		k := d.K
-		return engine.NetworkSpec{
-			Name: fmt.Sprintf("%d-ary SplayNet", k),
-			Make: makeNet(func(n int) (sim.Network, error) { return karynet.New(n, k) }),
-		}, nil
+		base := fmt.Sprintf("%d-ary SplayNet", k)
+		return policyKindSpec(d, base, treeAdjusterNames,
+			func() engine.NetworkSpec {
+				return engine.NetworkSpec{Name: base, Make: makeNet(func(n int) (sim.Network, error) {
+					return karynet.New(n, k)
+				})}
+			},
+			func(label string, pd *PolicyDef, n int) (sim.Network, error) {
+				return karynet.Compose(label, n, k, pd.trigger(), pd.treeAdjuster())
+			})
 	})
 	registerBuiltinNetwork("centroid", needK("centroid"), func(d NetworkDef) (engine.NetworkSpec, error) {
 		k := d.K
-		return engine.NetworkSpec{
-			Name: fmt.Sprintf("%d-SplayNet", k+1),
-			Make: makeNet(func(n int) (sim.Network, error) { return centroidnet.New(n, k) }),
-		}, nil
+		base := fmt.Sprintf("%d-SplayNet", k+1)
+		return policyKindSpec(d, base, triggerOnlyAdjusters,
+			func() engine.NetworkSpec {
+				return engine.NetworkSpec{Name: base, Make: makeNet(func(n int) (sim.Network, error) {
+					return centroidnet.New(n, k)
+				})}
+			},
+			func(label string, pd *PolicyDef, n int) (sim.Network, error) {
+				return centroidnet.Compose(label, n, k, pd.trigger())
+			})
 	})
 	registerBuiltinNetwork("splaynet", noParams("splaynet"), func(d NetworkDef) (engine.NetworkSpec, error) {
-		return engine.NetworkSpec{
-			Name: "SplayNet",
-			Make: makeNet(func(n int) (sim.Network, error) { return splaynet.New(n) }),
-		}, nil
+		return policyKindSpec(d, "SplayNet", triggerOnlyAdjusters,
+			func() engine.NetworkSpec {
+				return engine.NetworkSpec{Name: "SplayNet", Make: makeNet(func(n int) (sim.Network, error) {
+					return splaynet.New(n)
+				})}
+			},
+			func(label string, pd *PolicyDef, n int) (sim.Network, error) {
+				return splaynet.Compose(label, n, pd.trigger())
+			})
 	})
 	registerBuiltinNetwork("lazy", func(d NetworkDef) error {
 		if d.K < 2 {
@@ -458,6 +681,9 @@ func init() {
 		}
 		if d.Alpha < 1 {
 			return fmt.Errorf("spec: network kind \"lazy\" needs alpha >= 1, got %d", d.Alpha)
+		}
+		if d.Policy != nil {
+			return fmt.Errorf("spec: network kind \"lazy\" is the canonical kary × (alpha, rebuild-wb) composition and takes no policy; use kind \"kary\" with an explicit policy instead")
 		}
 		return nil
 	}, func(d NetworkDef) (engine.NetworkSpec, error) {
@@ -469,45 +695,22 @@ func init() {
 	})
 	registerBuiltinNetwork("full", needK("full"), func(d NetworkDef) (engine.NetworkSpec, error) {
 		k := d.K
-		label := d.Name
-		if label == "" {
-			label = fmt.Sprintf("full %d-ary tree", k)
-		}
-		return staticSpec(label, func(n int) (*statictree.Net, error) {
-			t, err := statictree.Full(n, k)
-			if err != nil {
-				return nil, err
-			}
-			return statictree.NewNet(label, t), nil
-		}), nil
+		return treeSpec(d, fmt.Sprintf("full %d-ary tree", k), func(n int) (*core.Tree, error) {
+			return statictree.Full(n, k)
+		})
 	})
 	registerBuiltinNetwork("centroid-tree", needK("centroid-tree"), func(d NetworkDef) (engine.NetworkSpec, error) {
 		k := d.K
-		label := d.Name
-		if label == "" {
-			label = fmt.Sprintf("centroid %d-ary tree", k)
-		}
-		return staticSpec(label, func(n int) (*statictree.Net, error) {
-			t, err := statictree.Centroid(n, k)
-			if err != nil {
-				return nil, err
-			}
-			return statictree.NewNet(label, t), nil
-		}), nil
+		return treeSpec(d, fmt.Sprintf("centroid %d-ary tree", k), func(n int) (*core.Tree, error) {
+			return statictree.Centroid(n, k)
+		})
 	})
 	registerBuiltinNetwork("uniform-opt", needK("uniform-opt"), func(d NetworkDef) (engine.NetworkSpec, error) {
 		k := d.K
-		label := d.Name
-		if label == "" {
-			label = fmt.Sprintf("uniform-optimal %d-ary tree", k)
-		}
-		return staticSpec(label, func(n int) (*statictree.Net, error) {
+		return treeSpec(d, fmt.Sprintf("uniform-optimal %d-ary tree", k), func(n int) (*core.Tree, error) {
 			t, _, err := statictree.OptimalUniform(n, k)
-			if err != nil {
-				return nil, err
-			}
-			return statictree.NewNet(label, t), nil
-		}), nil
+			return t, err
+		})
 	})
 
 	registerBuiltinTrace("uniform", genCheck("uniform", false, false), func(d TraceDef) (workload.Trace, error) {

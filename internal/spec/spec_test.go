@@ -264,6 +264,11 @@ func TestNameOverrides(t *testing.T) {
 	if ns.Name != "custom" {
 		t.Errorf("network label %q, want the override", ns.Name)
 	}
+	// Since the policy layer the override labels results uniformly, not
+	// just the grid: the constructed network reports it too.
+	if got := ns.Make(15).Name(); got != "custom" {
+		t.Errorf("kary network name %q, want the override", got)
+	}
 	tr, err := TraceDef{Kind: "uniform", N: 8, M: 10, Seed: 1, Name: "mine"}.Materialize()
 	if err != nil {
 		t.Fatal(err)

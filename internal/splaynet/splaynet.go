@@ -9,15 +9,23 @@
 // of u and v, and v is splayed to become a child of u, so that a repetition
 // of the request costs one hop.
 //
-// The implementation is deliberately independent of the k-ary machinery in
-// internal/core so the two can cross-validate each other (k-ary SplayNet
-// with k=2 must behave like this package up to rotation tie-breaking).
+// The binary substrate is deliberately independent of the k-ary machinery
+// in internal/core so the two can cross-validate each other (k-ary
+// SplayNet with k=2 must behave like this package up to rotation
+// tie-breaking). It plugs into the policy layer as a custom
+// policy.Topology with the double splay as its Adjuster, making the
+// canonical network the composition
+//
+//	binary substrate × (policy.Always, double splay)
+//
+// and opening the rest of the trigger axis (periodic or frozen binary
+// SplayNets) through Compose.
 package splaynet
 
 import (
 	"fmt"
 
-	"github.com/ksan-net/ksan/internal/sim"
+	"github.com/ksan-net/ksan/internal/policy"
 )
 
 type node struct {
@@ -25,23 +33,27 @@ type node struct {
 	l, r, p *node
 }
 
-// Net is a binary SplayNet on nodes 1..n.
+// Net is a binary SplayNet on nodes 1..n: a policy composition over the
+// binary substrate.
 type Net struct {
+	*policy.Net
+	t *tree
+}
+
+// tree is the binary substrate: it implements policy.Topology, stashing
+// the routed endpoints and their LCA for the adjuster (serving is
+// strictly sequential, so a single stash per substrate suffices).
+type tree struct {
 	n         int
 	root      *node
 	byID      []*node
 	rotations int64
+
+	a, b, w *node // last routed request's endpoints and LCA
 }
 
 // New constructs a SplayNet with a balanced initial topology.
-func New(n int) (*Net, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("splaynet: need at least one node, got %d", n)
-	}
-	net := &Net{n: n, byID: make([]*node, n+1)}
-	net.root = net.buildBalanced(1, n, nil)
-	return net, nil
-}
+func New(n int) (*Net, error) { return Compose("SplayNet", n, policy.Always()) }
 
 // MustNew is New for known-good parameters.
 func MustNew(n int) *Net {
@@ -52,29 +64,67 @@ func MustNew(n int) *Net {
 	return net
 }
 
-func (net *Net) buildBalanced(lo, hi int, p *node) *node {
+// Compose builds the binary substrate under an arbitrary trigger; the
+// adjuster is always the double splay (with policy.Never it simply never
+// runs, freezing the topology).
+func Compose(label string, n int, trig policy.Trigger) (*Net, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("splaynet: need at least one node, got %d", n)
+	}
+	t := &tree{n: n, byID: make([]*node, n+1)}
+	t.root = t.buildBalanced(1, n, nil)
+	p, err := policy.NewCustom(label, t, trig, doubleSplay{t})
+	if err != nil {
+		return nil, fmt.Errorf("splaynet: %w", err)
+	}
+	return &Net{Net: p, t: t}, nil
+}
+
+func (t *tree) buildBalanced(lo, hi int, p *node) *node {
 	if lo > hi {
 		return nil
 	}
 	mid := lo + (hi-lo)/2
 	nd := &node{id: mid, p: p}
-	net.byID[mid] = nd
-	nd.l = net.buildBalanced(lo, mid-1, nd)
-	nd.r = net.buildBalanced(mid+1, hi, nd)
+	t.byID[mid] = nd
+	nd.l = t.buildBalanced(lo, mid-1, nd)
+	nd.r = t.buildBalanced(mid+1, hi, nd)
 	return nd
 }
 
-// Name implements sim.Network.
-func (net *Net) Name() string { return "SplayNet" }
+// N implements policy.Topology.
+func (t *tree) N() int { return t.n }
 
-// N implements sim.Network.
-func (net *Net) N() int { return net.n }
+// Route implements policy.Topology: the routing cost is the tree-path
+// length; the endpoints and LCA are stashed for the adjuster.
+func (t *tree) Route(u, v int, _ *policy.Ctx) int64 {
+	a, b := t.byID[u], t.byID[v]
+	d, w := t.distLCA(a, b)
+	t.a, t.b, t.w = a, b, w
+	return int64(d)
+}
+
+// doubleSplay is the canonical SplayNet adjustment: splay u to the LCA's
+// position, then v to a child of u.
+type doubleSplay struct{ t *tree }
+
+func (doubleSplay) Name() string      { return "splay" }
+func (doubleSplay) NeedsWindow() bool { return false }
+func (doubleSplay) NeedsTree() bool   { return false }
+
+func (s doubleSplay) Adjust(_ *policy.Ctx) int64 {
+	t := s.t
+	before := t.rotations
+	t.splayUntilParent(t.a, t.w.p)
+	t.splayUntilParent(t.b, t.a)
+	return t.rotations - before
+}
 
 // Rotations returns the cumulative number of splay steps performed (each
 // zig, zig-zig or zig-zag counts one, matching the k-ary accounting).
-func (net *Net) Rotations() int64 { return net.rotations }
+func (net *Net) Rotations() int64 { return net.t.rotations }
 
-func (net *Net) depth(x *node) int {
+func (t *tree) depth(x *node) int {
 	d := 0
 	for x.p != nil {
 		x = x.p
@@ -87,11 +137,11 @@ func (net *Net) depth(x *node) int {
 // lowest common ancestor, in one fused traversal (mirroring
 // core.Tree.DistanceLCA): Serve needs both, and the fusion replaces the
 // former lca-then-three-depths walk with two depth walks and one climb.
-func (net *Net) distLCA(a, b *node) (int, *node) {
+func (t *tree) distLCA(a, b *node) (int, *node) {
 	if a == b {
 		return 0, a
 	}
-	da, db := net.depth(a), net.depth(b)
+	da, db := t.depth(a), t.depth(b)
 	dist := 0
 	for da > db {
 		a, da, dist = a.p, da-1, dist+1
@@ -107,12 +157,12 @@ func (net *Net) distLCA(a, b *node) (int, *node) {
 
 // Distance returns the tree-path length between ids u and v.
 func (net *Net) Distance(u, v int) int {
-	d, _ := net.distLCA(net.byID[u], net.byID[v])
+	d, _ := net.t.distLCA(net.t.byID[u], net.t.byID[v])
 	return d
 }
 
 // rotateUp performs a single BST rotation lifting x above its parent.
-func (net *Net) rotateUp(x *node) {
+func (t *tree) rotateUp(x *node) {
 	p := x.p
 	g := p.p
 	if p.l == x {
@@ -131,7 +181,7 @@ func (net *Net) rotateUp(x *node) {
 	p.p = x
 	x.p = g
 	if g == nil {
-		net.root = x
+		t.root = x
 	} else if g.l == p {
 		g.l = x
 	} else {
@@ -143,42 +193,28 @@ func (net *Net) rotateUp(x *node) {
 // root position), using zig-zig / zig-zag double steps and a final zig.
 // Each elementary rotation (parent-child flip) is charged one unit,
 // matching the k-ary accounting in internal/core.
-func (net *Net) splayUntilParent(x, stop *node) {
+func (t *tree) splayUntilParent(x, stop *node) {
 	for x.p != stop {
 		p := x.p
 		g := p.p
 		if g == stop {
-			net.rotateUp(x) // zig
-			net.rotations++
+			t.rotateUp(x) // zig
+			t.rotations++
 		} else if (g.l == p) == (p.l == x) {
-			net.rotateUp(p) // zig-zig
-			net.rotateUp(x)
-			net.rotations += 2
+			t.rotateUp(p) // zig-zig
+			t.rotateUp(x)
+			t.rotations += 2
 		} else {
-			net.rotateUp(x) // zig-zag
-			net.rotateUp(x)
-			net.rotations += 2
+			t.rotateUp(x) // zig-zag
+			t.rotateUp(x)
+			t.rotations += 2
 		}
 	}
 }
 
-// Serve implements sim.Network: route (u,v) on the current tree, then
-// double-splay so the pair becomes adjacent.
-func (net *Net) Serve(u, v int) sim.Cost {
-	a, b := net.byID[u], net.byID[v]
-	if a == b {
-		return sim.Cost{}
-	}
-	d, w := net.distLCA(a, b)
-	dist := int64(d)
-	before := net.rotations
-	net.splayUntilParent(a, w.p)
-	net.splayUntilParent(b, a)
-	return sim.Cost{Routing: dist, Adjust: net.rotations - before}
-}
-
 // Validate checks the BST property, parent links and id coverage.
 func (net *Net) Validate() error {
+	t := net.t
 	count := 0
 	var walk func(nd *node, lo, hi int) error
 	walk = func(nd *node, lo, hi int) error {
@@ -188,7 +224,7 @@ func (net *Net) Validate() error {
 		if nd.id < lo || nd.id > hi {
 			return fmt.Errorf("splaynet: node %d outside (%d..%d)", nd.id, lo, hi)
 		}
-		if net.byID[nd.id] != nd {
+		if t.byID[nd.id] != nd {
 			return fmt.Errorf("splaynet: byID[%d] stale", nd.id)
 		}
 		count++
@@ -203,20 +239,20 @@ func (net *Net) Validate() error {
 		}
 		return walk(nd.r, nd.id+1, hi)
 	}
-	if net.root == nil || net.root.p != nil {
+	if t.root == nil || t.root.p != nil {
 		return fmt.Errorf("splaynet: bad root")
 	}
-	if err := walk(net.root, 1, net.n); err != nil {
+	if err := walk(t.root, 1, t.n); err != nil {
 		return err
 	}
-	if count != net.n {
-		return fmt.Errorf("splaynet: %d nodes reachable, want %d", count, net.n)
+	if count != t.n {
+		return fmt.Errorf("splaynet: %d nodes reachable, want %d", count, t.n)
 	}
 	return nil
 }
 
 // Depth returns the current depth of id (root is 0); exported for tests.
-func (net *Net) Depth(id int) int { return net.depth(net.byID[id]) }
+func (net *Net) Depth(id int) int { return net.t.depth(net.t.byID[id]) }
 
 // RootID returns the identifier currently at the root.
-func (net *Net) RootID() int { return net.root.id }
+func (net *Net) RootID() int { return net.t.root.id }

@@ -4,16 +4,17 @@ import (
 	"math/bits"
 
 	"github.com/ksan-net/ksan/internal/core"
+	"github.com/ksan-net/ksan/internal/sim"
 )
 
-// distIndex is a constant-time distance oracle over a static topology: an
+// DistIndex is a constant-time distance oracle over a static topology: an
 // Euler tour of the tree with a sparse-table RMQ over tour depths, the
 // textbook LCA reduction. Building costs O(n log n) once; each distance
 // query is then a handful of array lookups instead of the three root-ward
 // pointer walks core.Tree.Distance performs. This is what makes batch
 // routing-cost evaluation (sim.BatchServer) profitable even on one core,
 // and it is only sound because the wrapped tree never changes.
-type distIndex struct {
+type DistIndex struct {
 	depth []int32 // depth[id] for id in 1..n
 	first []int32 // first[id]: first occurrence of id in the Euler tour
 	euler []int32 // node ids in Euler-tour order (2n-1 entries)
@@ -22,10 +23,10 @@ type distIndex struct {
 	table [][]int32
 }
 
-// newDistIndex builds the oracle from a tree rooted at t.Root().
-func newDistIndex(t *core.Tree) *distIndex {
+// NewDistIndex builds the oracle from a tree rooted at t.Root().
+func NewDistIndex(t *core.Tree) *DistIndex {
 	n := t.N()
-	ix := &distIndex{
+	ix := &DistIndex{
 		depth: make([]int32, n+1),
 		first: make([]int32, n+1),
 		euler: make([]int32, 0, 2*n-1),
@@ -48,7 +49,7 @@ func newDistIndex(t *core.Tree) *distIndex {
 	return ix
 }
 
-func (ix *distIndex) buildRMQ() {
+func (ix *DistIndex) buildRMQ() {
 	m := len(ix.euler)
 	levels := bits.Len(uint(m))
 	ix.table = make([][]int32, levels)
@@ -73,10 +74,10 @@ func (ix *distIndex) buildRMQ() {
 	}
 }
 
-func (ix *distIndex) tourDepth(pos int32) int32 { return ix.depth[ix.euler[pos]] }
+func (ix *DistIndex) tourDepth(pos int32) int32 { return ix.depth[ix.euler[pos]] }
 
-// dist returns the path length in edges between nodes u and v.
-func (ix *distIndex) dist(u, v int) int64 {
+// Dist returns the path length in edges between nodes u and v.
+func (ix *DistIndex) Dist(u, v int) int64 {
 	if u == v {
 		return 0
 	}
@@ -91,4 +92,20 @@ func (ix *distIndex) dist(u, v int) int64 {
 		lcaDepth = d
 	}
 	return int64(ix.depth[u] + ix.depth[v] - 2*lcaDepth)
+}
+
+// ServeBatch evaluates a request slice against the oracle, returning the
+// aggregate batch cost (routing totals plus the per-request routing-cost
+// histogram). It is the shared batch loop of every frozen topology —
+// statictree.Net and frozen policy compositions both delegate here — and
+// is safe for concurrent calls on disjoint shards, since the oracle is
+// immutable.
+func (ix *DistIndex) ServeBatch(reqs []sim.Request) sim.BatchCost {
+	var bc sim.BatchCost
+	for _, rq := range reqs {
+		d := ix.Dist(rq.Src, rq.Dst)
+		bc.Routing += d
+		bc.Hist = sim.ObserveHist(bc.Hist, d)
+	}
+	return bc
 }

@@ -28,10 +28,10 @@ func TestDistIndexMatchesTreeDistance(t *testing.T) {
 			trees["path"] = p
 		}
 		for name, tr := range trees {
-			ix := newDistIndex(tr)
+			ix := NewDistIndex(tr)
 			for u := 1; u <= tr.N(); u++ {
 				for v := 1; v <= tr.N(); v++ {
-					if got, want := ix.dist(u, v), int64(tr.DistanceID(u, v)); got != want {
+					if got, want := ix.Dist(u, v), int64(tr.DistanceID(u, v)); got != want {
 						t.Fatalf("%s n=%d k=%d: dist(%d,%d)=%d, tree says %d", name, cfg.n, cfg.k, u, v, got, want)
 					}
 				}

@@ -17,7 +17,7 @@ type Net struct {
 	t    *core.Tree
 
 	once sync.Once
-	ix   *distIndex
+	ix   *DistIndex
 }
 
 // NewNet wraps tree as a static network labelled name.
@@ -40,8 +40,8 @@ func (s *Net) Serve(u, v int) sim.Cost {
 }
 
 // index returns the distance oracle, building it on first use.
-func (s *Net) index() *distIndex {
-	s.once.Do(func() { s.ix = newDistIndex(s.t) })
+func (s *Net) index() *DistIndex {
+	s.once.Do(func() { s.ix = NewDistIndex(s.t) })
 	return s.ix
 }
 
@@ -51,12 +51,5 @@ func (s *Net) index() *distIndex {
 // parent pointers, which is what makes batch evaluation fast even before
 // any sharding.
 func (s *Net) ServeBatch(reqs []sim.Request) sim.BatchCost {
-	ix := s.index()
-	var bc sim.BatchCost
-	for _, rq := range reqs {
-		d := ix.dist(rq.Src, rq.Dst)
-		bc.Routing += d
-		bc.Hist = sim.ObserveHist(bc.Hist, d)
-	}
-	return bc
+	return s.index().ServeBatch(reqs)
 }

@@ -94,6 +94,49 @@ func demandFromTraceCmp(tr Trace) *Demand {
 	return d
 }
 
+// Merge folds other into d: counts of shared pairs sum, Total
+// accumulates, and the pair list stays sorted by (Src, Dst). Demand
+// aggregation is associative, so merging chunk-wise aggregates of a
+// trace equals aggregating the whole trace — the policy layer leans on
+// this to compact long observation windows incrementally instead of
+// retaining every raw request. Both inputs must cover the same node set.
+func (d *Demand) Merge(other *Demand) {
+	if other == nil || len(other.Pairs) == 0 {
+		if other != nil {
+			d.Total += other.Total
+		}
+		return
+	}
+	merged := make([]PairCount, 0, len(d.Pairs)+len(other.Pairs))
+	i, j := 0, 0
+	less := func(a, b PairCount) bool {
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.Dst < b.Dst
+	}
+	for i < len(d.Pairs) && j < len(other.Pairs) {
+		a, b := d.Pairs[i], other.Pairs[j]
+		switch {
+		case a.Src == b.Src && a.Dst == b.Dst:
+			a.Count += b.Count
+			merged = append(merged, a)
+			i++
+			j++
+		case less(a, b):
+			merged = append(merged, a)
+			i++
+		default:
+			merged = append(merged, b)
+			j++
+		}
+	}
+	merged = append(merged, d.Pairs[i:]...)
+	merged = append(merged, other.Pairs[j:]...)
+	d.Pairs = merged
+	d.Total += other.Total
+}
+
 // UniformDemand is the paper's finite uniform workload: every ordered pair
 // u<v requested exactly once (an upper-triangular matrix of ones).
 func UniformDemand(n int) *Demand {

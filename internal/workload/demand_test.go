@@ -2,6 +2,7 @@ package workload
 
 import (
 	"reflect"
+	"slices"
 	"sort"
 	"testing"
 
@@ -72,6 +73,45 @@ func TestDemandFromTraceCmpFallback(t *testing.T) {
 	if !reflect.DeepEqual(got.Pairs, want.Pairs) || got.Total != want.Total {
 		t.Fatalf("fallback path diverges:\n got %+v total %d\nwant %+v total %d",
 			got.Pairs, got.Total, want.Pairs, want.Total)
+	}
+}
+
+func TestDemandMergeEqualsWholeTraceAggregation(t *testing.T) {
+	// Merge is the associativity contract the policy layer's window
+	// compaction relies on: aggregating a trace chunk-wise and merging
+	// must equal aggregating the whole trace, for any chunking.
+	tr := Temporal(63, 8000, 0.7, 11)
+	want := DemandFromTrace(tr)
+	for _, chunk := range []int{1, 7, 64, 1000, 8000, 9999} {
+		var acc *Demand
+		for lo := 0; lo < len(tr.Reqs); lo += chunk {
+			hi := min(lo+chunk, len(tr.Reqs))
+			d := DemandFromTrace(Trace{N: tr.N, Reqs: tr.Reqs[lo:hi]})
+			if acc == nil {
+				acc = d
+			} else {
+				acc.Merge(d)
+			}
+		}
+		if acc.Total != want.Total || !reflect.DeepEqual(acc.Pairs, want.Pairs) {
+			t.Fatalf("chunk=%d: merged aggregate diverges from whole-trace aggregation", chunk)
+		}
+		if !slices.IsSortedFunc(acc.Pairs, func(a, b PairCount) int {
+			if a.Src != b.Src {
+				return a.Src - b.Src
+			}
+			return a.Dst - b.Dst
+		}) {
+			t.Fatalf("chunk=%d: merged pairs not sorted", chunk)
+		}
+	}
+	// Merging an empty/nil demand only folds totals.
+	d := DemandFromTrace(Trace{N: 8, Reqs: tr.Reqs[:10]})
+	before := len(d.Pairs)
+	d.Merge(&Demand{N: 8})
+	d.Merge(nil)
+	if len(d.Pairs) != before {
+		t.Error("empty merge changed the pair list")
 	}
 }
 

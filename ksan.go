@@ -11,7 +11,16 @@
 //
 //   - online self-adjusting networks: the k-ary SplayNet (NewKArySplayNet),
 //     the centroid-based (k+1)-SplayNet (NewCentroidSplayNet), and the
-//     binary SplayNet baseline (NewSplayNet);
+//     binary SplayNet baseline (NewSplayNet) — each a canonical
+//     composition of the policy layer below;
+//   - a composable policy layer decoupling routing from adjustment: a
+//     PolicyNet pairs a Trigger (when to adjust — TriggerAlways,
+//     TriggerNever, TriggerEveryM, TriggerAlpha with optional
+//     hysteresis, TriggerFirst) with an Adjuster (how — AdjusterSplay,
+//     AdjusterSemiSplay, AdjusterRebuild, AdjusterNone) over any tree
+//     topology (NewPolicyNet), turning lazy k-ary splay, periodic
+//     semi-splay or frozen-after-warmup networks into one-line
+//     compositions (also file-addressable via PolicyDef);
 //   - offline/static designs: the DP-optimal routing-based tree
 //     (OptimalStaticTree, with NewOptimalSolver sharing one demand's
 //     precomputation across an arity sweep), the uniform-workload optimum
@@ -47,6 +56,7 @@ import (
 	"github.com/ksan-net/ksan/internal/engine"
 	"github.com/ksan-net/ksan/internal/karynet"
 	"github.com/ksan-net/ksan/internal/lazynet"
+	"github.com/ksan-net/ksan/internal/policy"
 	"github.com/ksan-net/ksan/internal/sim"
 	"github.com/ksan-net/ksan/internal/spec"
 	"github.com/ksan-net/ksan/internal/splaynet"
@@ -100,6 +110,83 @@ type LazyNet = lazynet.Net
 
 // StaticNet wraps a static topology as a Network (routing cost only).
 type StaticNet = statictree.Net
+
+// PolicyNet is a trigger × adjuster composition over a tree topology —
+// the decomposition every self-adjusting network in this library
+// factors through: route the request on the current tree, let the
+// Trigger decide *when* to restructure and the Adjuster decide *how*.
+// KArySplayNet and LazyNet are canonical compositions of this type;
+// NewPolicyNet builds any other point of the plane (lazy k-ary splay,
+// periodic semi-splay, frozen-after-warmup, ...). Frozen compositions
+// (TriggerNever) additionally serve through the engine's sharded batch
+// path, like static networks.
+type PolicyNet = policy.Net
+
+// PolicyTrigger decides when a PolicyNet adjusts; see TriggerAlways,
+// TriggerNever, TriggerEveryM, TriggerAlpha, TriggerAlphaHysteresis and
+// TriggerFirst. Triggers are stateful: compose a fresh instance per
+// network.
+type PolicyTrigger = policy.Trigger
+
+// PolicyAdjuster decides how a PolicyNet restructures; see
+// AdjusterSplay, AdjusterSemiSplay, AdjusterRebuild and AdjusterNone.
+type PolicyAdjuster = policy.Adjuster
+
+// RebuildBuilder computes a static demand-aware topology for a demand
+// window; WeightBalancedTree and OptimalStaticTree (via their
+// statictree implementations) are the stock builders for
+// AdjusterRebuild.
+type RebuildBuilder = policy.Builder
+
+// NewPolicyNet composes a policy network over an arbitrary valid tree
+// topology. The tree is owned by the network from then on and must only
+// be mutated through Serve.
+func NewPolicyNet(name string, t *Tree, trig PolicyTrigger, adj PolicyAdjuster) (*PolicyNet, error) {
+	return policy.New(name, t, trig, adj)
+}
+
+// TriggerAlways fires on every request (the fully reactive regime).
+func TriggerAlways() PolicyTrigger { return policy.Always() }
+
+// TriggerNever never fires: the composition is frozen/static.
+func TriggerNever() PolicyTrigger { return policy.Never() }
+
+// TriggerEveryM fires on every m-th served request since the last
+// adjustment (m >= 1; self-loop requests are free and not counted).
+func TriggerEveryM(m int64) PolicyTrigger { return policy.EveryM(m) }
+
+// TriggerAlpha fires once the routing cost accumulated since the last
+// adjustment reaches alpha (the lazy/partially-reactive regime).
+func TriggerAlpha(alpha int64) PolicyTrigger { return policy.Alpha(alpha) }
+
+// TriggerAlphaHysteresis is TriggerAlpha with a re-arm delay: after an
+// adjustment the trigger stays quiet for at least cooldown requests.
+func TriggerAlphaHysteresis(alpha, cooldown int64) PolicyTrigger {
+	return policy.AlphaHysteresis(alpha, cooldown)
+}
+
+// TriggerFirst fires on each of the first m served requests and never
+// again (frozen-after-warmup).
+func TriggerFirst(m int64) PolicyTrigger { return policy.First(m) }
+
+// AdjusterSplay is the full k-splay adjustment of the paper's online
+// networks.
+func AdjusterSplay() PolicyAdjuster { return policy.Splay() }
+
+// AdjusterSemiSplay restricts the repertoire to single k-semi-splay
+// steps (the rotation-repertoire ablation).
+func AdjusterSemiSplay() PolicyAdjuster { return policy.SemiSplay() }
+
+// AdjusterNone never restructures (compose with TriggerNever for a
+// frozen topology).
+func AdjusterNone() PolicyAdjuster { return policy.None() }
+
+// AdjusterRebuild recomputes the topology from the demand observed
+// since the last adjustment and swaps it in, charging the link churn of
+// the swap; name labels the builder in composition reports.
+func AdjusterRebuild(name string, b RebuildBuilder) PolicyAdjuster {
+	return policy.Rebuild(name, b)
+}
 
 // NewKArySplayNet constructs a k-ary SplayNet on n nodes with a balanced
 // initial topology.
@@ -257,7 +344,17 @@ type TraceSpec = engine.TraceSpec
 
 // BatchServer is the optional Network extension for static topologies
 // whose request slices the engine may evaluate in concurrent shards.
+// Since the policy layer, carrying ServeBatch on a type is not alone a
+// commitment: networks that also implement BatchGate (every PolicyNet
+// does) are batch-capable only when Batchable reports true — assert
+// both before calling ServeBatch, as the engine does.
 type BatchServer = sim.BatchServer
+
+// BatchGate refines BatchServer for networks whose batch capability is
+// a runtime property: a PolicyNet is only safely shardable when its
+// trigger can never fire (a frozen composition). ServeBatch on a
+// non-batchable composition panics.
+type BatchGate = sim.BatchGate
 
 // NewEngine constructs a streaming simulation engine.
 func NewEngine(opts ...EngineOption) *Engine { return engine.New(opts...) }
@@ -290,6 +387,12 @@ func TraceSpecOf(tr Trace) TraceSpec {
 // splaynet, lazy, full, centroid-tree, uniform-opt; see the field docs on
 // the underlying type for the parameters each reads.
 type NetworkDef = spec.NetworkDef
+
+// PolicyDef selects a trigger × adjuster composition for a NetworkDef's
+// topology, making the policy plane file-addressable (triggers: always,
+// never, every, first, alpha; adjusters: splay, semi-splay, rebuild-wb,
+// rebuild-opt, none — availability depends on the kind).
+type PolicyDef = spec.PolicyDef
 
 // TraceDef declares one workload trace by registered kind — the
 // serializable counterpart of TraceSpec. Builtin kinds: uniform, temporal,

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_PR5.json, the machine-readable perf baseline of the
+# policy-layer PR: the BenchmarkPolicyServe trigger×adjuster grid (where
+# the static-stretch Euler-tour/RMQ oracle shows up on the deferred
+# compositions), the serve-path benchmarks tracked since PR 2, and the
+# policy-internal churn/window microbenchmarks. Schema ksan-bench/v1,
+# produced by cmd/benchjson; future PRs rerun this on the same machine
+# and diff against the checked-in file (BENCH_PR4.json stays as the
+# pre-policy baseline).
+#
+# Usage: scripts/bench_pr5.sh [output.json]
+#   BENCHTIME=1x scripts/bench_pr5.sh /tmp/check.json   # CI schema check
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR5.json}"
+benchtime="${BENCHTIME:-1s}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+run() { # run <package> <bench regex>
+  go test -run '^$' -bench "$2" -benchmem -benchtime "$benchtime" "$1" >>"$tmp"
+}
+
+# The policy plane and the sequential serve paths it generalizes.
+run . 'BenchmarkPolicyServe|BenchmarkServeKAryTemporal$|BenchmarkServeCentroidTemporal$|BenchmarkServeSplayNetTemporal$'
+# The sort-based link churn against its map-based reference.
+run ./internal/policy 'BenchmarkLinkChurn'
+
+go run ./cmd/benchjson <"$tmp" >"$out"
+echo "bench_pr5: wrote $out ($(grep -c '"ns_per_op"' "$out") benchmarks at -benchtime=$benchtime)" >&2
