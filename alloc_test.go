@@ -11,7 +11,10 @@ package ksan
 // fragment expansion reuses per-tree scratch buffers, and the splay loops
 // build no per-step slices.
 
-import "testing"
+import (
+	"math/rand"
+	"testing"
+)
 
 // assertServeZeroAllocs drives the network through the whole trace once
 // (letting the per-tree scratch buffers reach their steady-state capacity)
@@ -104,4 +107,32 @@ func TestServeZeroAllocsSplayNet(t *testing.T) {
 		t.Fatal(err)
 	}
 	assertServeZeroAllocs(t, net, tr)
+}
+
+// TestRebuildPathZeroAllocs pins the contract one layer below Serve: the
+// arena rebuilds themselves (the index-surgery k-splay/k-semi-splay steps
+// plus the LCA walks that steer them) allocate nothing. The merge scratch
+// is preallocated at the d=3 maximum when the arena is built, so unlike
+// the network-level tests above this holds from the very first rotation.
+func TestRebuildPathZeroAllocs(t *testing.T) {
+	for _, k := range []int{2, 3, 5} {
+		tree, err := NewBalancedTree(255, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(k)))
+		splay := func() {
+			u, v := 1+rng.Intn(255), 1+rng.Intn(255)
+			if u == v {
+				return
+			}
+			a, b := tree.NodeByID(u), tree.NodeByID(v)
+			_, w := tree.DistanceLCA(a, b)
+			tree.SplayUntilParent(a, w.Parent())
+			tree.SplayUntilParent(b, a)
+		}
+		if avg := testing.AllocsPerRun(2000, splay); avg != 0 {
+			t.Errorf("k=%d: %.2f allocs per rebuild-path operation, want 0", k, avg)
+		}
+	}
 }

@@ -1,0 +1,186 @@
+// Command benchdiff compares two ksan-bench/v1 benchmark baselines (see
+// cmd/benchjson) and exits non-zero when the candidate regresses against
+// the baseline, making checked-in BENCH_PR*.json files enforceable
+// instead of advisory.
+//
+//	benchdiff [flags] baseline.json candidate.json
+//
+// Each metric has its own noise model, because each fails differently:
+//
+//   - ns_per_op is only meaningful when both files come from the same
+//     machine at a real -benchtime; it is compared with a relative
+//     tolerance (-ns-tol, default 30%) and can be excluded entirely with
+//     -skip-ns — which CI does, since its candidate runs at a fixed small
+//     iteration count on shared runners where timings are garbage.
+//   - bytes_per_op is stable across machines but jitters with GC timing
+//     and amortized rebuild costs; it gets a relative tolerance
+//     (-bytes-tol, default 20%) plus an absolute slack floor
+//     (-bytes-slack, default 64 B) so 0→small-noise does not fire while
+//     0→hundreds does.
+//   - allocs_per_op is the strictest contract in the repo (the serve
+//     paths pin exact zero); it defaults to zero tolerance and zero
+//     slack.
+//
+// A benchmark present in the baseline but missing from the candidate is
+// a failure by default (-allow-missing relaxes it): losing coverage must
+// be as loud as losing performance. Improvements never fail and are
+// reported on stdout.
+//
+// Exit codes: 0 clean, 1 regression (or lost coverage), 2 usage or
+// malformed input.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Entry mirrors cmd/benchjson's per-benchmark summary.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Baseline mirrors cmd/benchjson's document schema.
+type Baseline struct {
+	Schema     string           `json:"schema"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// Tolerances is the per-metric noise model of one comparison.
+type Tolerances struct {
+	SkipNs      bool
+	NsTol       float64 // relative
+	BytesTol    float64 // relative
+	BytesSlack  int64   // absolute floor
+	AllocsTol   float64 // relative
+	AllocsSlack int64   // absolute floor
+}
+
+// Finding is one benchmark's verdict.
+type Finding struct {
+	Name   string
+	Metric string
+	Base   float64
+	Cand   float64
+	Limit  float64
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s %g -> %g (limit %g)", f.Name, f.Metric, f.Base, f.Cand, f.Limit)
+}
+
+// limit is the largest candidate value the noise model accepts.
+func limit(base float64, tol float64, slack int64) float64 {
+	return base*(1+tol) + float64(slack)
+}
+
+// Compare diffs the candidate against the baseline under the given noise
+// model, returning regressions, benchmarks missing from the candidate,
+// and improvements (any metric strictly better, no metric regressed).
+func Compare(base, cand *Baseline, tol Tolerances) (regressions []Finding, missing []string, improved []string) {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cand.Benchmarks[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		var regs []Finding
+		if !tol.SkipNs {
+			if lim := limit(b.NsPerOp, tol.NsTol, 0); c.NsPerOp > lim {
+				regs = append(regs, Finding{name, "ns/op", b.NsPerOp, c.NsPerOp, lim})
+			}
+		}
+		if lim := limit(float64(b.BytesPerOp), tol.BytesTol, tol.BytesSlack); float64(c.BytesPerOp) > lim {
+			regs = append(regs, Finding{name, "bytes/op", float64(b.BytesPerOp), float64(c.BytesPerOp), lim})
+		}
+		if lim := limit(float64(b.AllocsPerOp), tol.AllocsTol, tol.AllocsSlack); float64(c.AllocsPerOp) > lim {
+			regs = append(regs, Finding{name, "allocs/op", float64(b.AllocsPerOp), float64(c.AllocsPerOp), lim})
+		}
+		if len(regs) > 0 {
+			regressions = append(regressions, regs...)
+			continue
+		}
+		better := (!tol.SkipNs && c.NsPerOp < b.NsPerOp) || c.BytesPerOp < b.BytesPerOp || c.AllocsPerOp < b.AllocsPerOp
+		if better {
+			improved = append(improved, name)
+		}
+	}
+	return regressions, missing, improved
+}
+
+func load(path string) (*Baseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.Schema != "ksan-bench/v1" {
+		return nil, fmt.Errorf("%s: schema %q, want ksan-bench/v1", path, b.Schema)
+	}
+	if len(b.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &b, nil
+}
+
+func main() {
+	var tol Tolerances
+	flag.BoolVar(&tol.SkipNs, "skip-ns", false, "ignore ns_per_op (cross-machine or fixed-iteration comparisons)")
+	flag.Float64Var(&tol.NsTol, "ns-tol", 0.30, "relative ns_per_op tolerance")
+	flag.Float64Var(&tol.BytesTol, "bytes-tol", 0.20, "relative bytes_per_op tolerance")
+	flag.Int64Var(&tol.BytesSlack, "bytes-slack", 64, "absolute bytes_per_op slack")
+	flag.Float64Var(&tol.AllocsTol, "allocs-tol", 0, "relative allocs_per_op tolerance")
+	flag.Int64Var(&tol.AllocsSlack, "allocs-slack", 0, "absolute allocs_per_op slack")
+	allowMissing := flag.Bool("allow-missing", false, "do not fail when the candidate lacks a baseline benchmark")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] baseline.json candidate.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cand, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	regressions, missing, improved := Compare(base, cand, tol)
+	for _, name := range improved {
+		fmt.Printf("improved: %s\n", name)
+	}
+	for _, f := range regressions {
+		fmt.Printf("REGRESSION %s\n", f)
+	}
+	fail := len(regressions) > 0
+	for _, name := range missing {
+		if *allowMissing {
+			fmt.Printf("missing (ignored): %s\n", name)
+		} else {
+			fmt.Printf("MISSING %s: in baseline but not in candidate\n", name)
+			fail = true
+		}
+	}
+	fmt.Printf("benchdiff: %d compared, %d regressed, %d missing, %d improved\n",
+		len(base.Benchmarks)-len(missing), len(regressions), len(missing), len(improved))
+	if fail {
+		os.Exit(1)
+	}
+}

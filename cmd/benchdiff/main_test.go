@@ -1,0 +1,94 @@
+package main
+
+import "testing"
+
+func doc(entries map[string]Entry) *Baseline {
+	return &Baseline{Schema: "ksan-bench/v1", Benchmarks: entries}
+}
+
+var defaults = Tolerances{NsTol: 0.30, BytesTol: 0.20, BytesSlack: 64}
+
+func TestCompareCleanWithinNoise(t *testing.T) {
+	base := doc(map[string]Entry{
+		"BenchmarkServe": {NsPerOp: 100, BytesPerOp: 0, AllocsPerOp: 0},
+		"BenchmarkBuild": {NsPerOp: 5000, BytesPerOp: 4096, AllocsPerOp: 12},
+	})
+	cand := doc(map[string]Entry{
+		"BenchmarkServe": {NsPerOp: 120, BytesPerOp: 30, AllocsPerOp: 0}, // +20% ns, +30 B inside slack
+		"BenchmarkBuild": {NsPerOp: 6400, BytesPerOp: 4500, AllocsPerOp: 12},
+	})
+	regs, missing, _ := Compare(base, cand, defaults)
+	if len(regs) != 0 || len(missing) != 0 {
+		t.Fatalf("clean diff reported regs=%v missing=%v", regs, missing)
+	}
+}
+
+func TestComparePerMetricThresholds(t *testing.T) {
+	base := doc(map[string]Entry{
+		"BenchmarkServe": {NsPerOp: 100, BytesPerOp: 0, AllocsPerOp: 0},
+	})
+	cases := []struct {
+		label  string
+		cand   Entry
+		metric string
+	}{
+		{"ns beyond tolerance", Entry{NsPerOp: 131, BytesPerOp: 0, AllocsPerOp: 0}, "ns/op"},
+		{"bytes beyond slack", Entry{NsPerOp: 100, BytesPerOp: 65, AllocsPerOp: 0}, "bytes/op"},
+		{"alloc contract broken", Entry{NsPerOp: 100, BytesPerOp: 0, AllocsPerOp: 1}, "allocs/op"},
+	}
+	for _, tc := range cases {
+		regs, _, _ := Compare(base, doc(map[string]Entry{"BenchmarkServe": tc.cand}), defaults)
+		if len(regs) != 1 || regs[0].Metric != tc.metric {
+			t.Errorf("%s: got %v, want one %s regression", tc.label, regs, tc.metric)
+		}
+	}
+}
+
+func TestCompareSkipNs(t *testing.T) {
+	base := doc(map[string]Entry{"BenchmarkServe": {NsPerOp: 100}})
+	cand := doc(map[string]Entry{"BenchmarkServe": {NsPerOp: 100000}})
+	tol := defaults
+	tol.SkipNs = true
+	if regs, _, _ := Compare(base, cand, tol); len(regs) != 0 {
+		t.Fatalf("-skip-ns still flagged ns: %v", regs)
+	}
+	if regs, _, _ := Compare(base, cand, defaults); len(regs) != 1 {
+		t.Fatalf("without -skip-ns the same diff must flag ns: %v", regs)
+	}
+}
+
+func TestCompareMissingAndImproved(t *testing.T) {
+	base := doc(map[string]Entry{
+		"BenchmarkGone":   {NsPerOp: 100},
+		"BenchmarkFaster": {NsPerOp: 100, BytesPerOp: 100, AllocsPerOp: 3},
+	})
+	cand := doc(map[string]Entry{
+		"BenchmarkFaster": {NsPerOp: 50, BytesPerOp: 0, AllocsPerOp: 0},
+		"BenchmarkNew":    {NsPerOp: 9},
+	})
+	regs, missing, improved := Compare(base, cand, defaults)
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	if len(missing) != 1 || missing[0] != "BenchmarkGone" {
+		t.Fatalf("missing = %v, want [BenchmarkGone]", missing)
+	}
+	if len(improved) != 1 || improved[0] != "BenchmarkFaster" {
+		t.Fatalf("improved = %v, want [BenchmarkFaster]", improved)
+	}
+}
+
+func TestCompareRelativeBytesOnLargeBaselines(t *testing.T) {
+	// On allocation-heavy benchmarks the absolute slack is dwarfed by the
+	// relative term: 1 MB -> 1.15 MB sits inside 20%, 1 MB -> 1.3 MB does
+	// not.
+	base := doc(map[string]Entry{"BenchmarkSolver": {NsPerOp: 1, BytesPerOp: 1 << 20, AllocsPerOp: 10}})
+	ok := doc(map[string]Entry{"BenchmarkSolver": {NsPerOp: 1, BytesPerOp: 1<<20 + 150<<10, AllocsPerOp: 10}})
+	bad := doc(map[string]Entry{"BenchmarkSolver": {NsPerOp: 1, BytesPerOp: 1<<20 + 300<<10, AllocsPerOp: 10}})
+	if regs, _, _ := Compare(base, ok, defaults); len(regs) != 0 {
+		t.Fatalf("within-tolerance bytes flagged: %v", regs)
+	}
+	if regs, _, _ := Compare(base, bad, defaults); len(regs) != 1 || regs[0].Metric != "bytes/op" {
+		t.Fatalf("out-of-tolerance bytes not flagged: %v", regs)
+	}
+}

@@ -25,4 +25,16 @@
 // the paper (k-semi-splay and k-splay) via the generalized d-node rebuild
 // described at the end of Section 4.1, plus construction, validation,
 // distance/LCA queries, greedy search, and ASCII rendering.
+//
+// # Storage layout
+//
+// Node state is stored in an index-based arena of flat structure-of-arrays
+// slices owned by the Tree — node id i is arena index i, with parents in
+// one dense int32 array and routing/child spans packed at fixed stride
+// (sound because every routing array holds exactly k−1 elements). The
+// exported Node type is a stable handle into that arena, so the pointer
+// API — NodeByID, Parent, Child — and identifier permanence are unchanged
+// from the pointer-linked representation, while the serve hot path walks
+// dense arrays and the same slices serialize directly (see Tree.Snapshot
+// and DESIGN.md §9).
 package core

@@ -1,48 +1,54 @@
 package core
 
-// Node is a single network node participating in a k-ary search tree
-// topology. The identifier is permanent; the routing array (thresholds) and
-// adjacency (parent/children) change under rotations.
+// Node is a handle to a single network node participating in a k-ary search
+// tree topology. The identifier is permanent; the routing array (thresholds)
+// and adjacency (parent/children) change under rotations.
 //
-// Invariant: len(children) == len(thresholds)+1. Child slots may hold nil
-// when the corresponding key interval contains no ids.
+// Since PR 6 the node state itself lives in flat structure-of-arrays slices
+// owned by the Tree (see tree.go); a Node is an (owner, index) handle into
+// that arena. Handles are allocated once per tree in a stable backing array,
+// so the *Node returned by NodeByID is pointer-identical across rotations —
+// exactly the identifier-permanence contract the pointer-linked
+// representation provided.
+//
+// Invariant: every node of a built tree carries exactly k−1 routing elements
+// and k child slots (construction pads routing arrays; rotations preserve
+// fullness). Child slots may hold nil when the corresponding key interval
+// contains no ids.
 type Node struct {
-	id         int
-	parent     *Node
-	thresholds []int
-	children   []*Node
-	// mark is the rebuild generation that last placed this node on a
-	// rotation fragment path; comparing it against the tree's generation
-	// counter answers path membership in O(1) without per-rebuild
-	// bookkeeping allocations.
-	mark uint64
+	t  *Tree
+	ix int32 // node index in the arena == the permanent identifier
 }
 
 // ID returns the node's permanent identifier.
-func (nd *Node) ID() int { return nd.id }
+func (nd *Node) ID() int { return int(nd.ix) }
 
 // Parent returns the node's current parent, or nil for the tree root.
-func (nd *Node) Parent() *Node { return nd.parent }
+func (nd *Node) Parent() *Node { return nd.t.nodeOrNil(nd.t.parent[nd.ix]) }
 
 // RoutingArray returns a copy of the node's current routing elements in
-// increasing order. The slice has at most k−1 entries.
+// increasing order. The slice has exactly k−1 entries.
 func (nd *Node) RoutingArray() []int {
-	out := make([]int, len(nd.thresholds))
-	copy(out, nd.thresholds)
+	sp := nd.t.span(nd.ix)
+	out := make([]int, nd.t.k-1)
+	for i := range out {
+		out[i] = int(sp[2*i+1])
+	}
 	return out
 }
 
 // NumSlots returns the number of child slots (len(routing array)+1).
-func (nd *Node) NumSlots() int { return len(nd.children) }
+func (nd *Node) NumSlots() int { return nd.t.k }
 
 // Child returns the child in slot i, which may be nil.
-func (nd *Node) Child(i int) *Node { return nd.children[i] }
+func (nd *Node) Child(i int) *Node { return nd.t.nodeOrNil(nd.t.span(nd.ix)[2*i]) }
 
 // ChildCount returns the number of non-nil children.
 func (nd *Node) ChildCount() int {
 	c := 0
-	for _, ch := range nd.children {
-		if ch != nil {
+	sp := nd.t.span(nd.ix)
+	for i := 0; i < len(sp); i += 2 {
+		if sp[i] != 0 {
 			c++
 		}
 	}
@@ -56,31 +62,24 @@ func (nd *Node) IsLeaf() bool { return nd.ChildCount() == 0 }
 // topology: its child count plus one for the parent link, if any.
 func (nd *Node) Degree() int {
 	d := nd.ChildCount()
-	if nd.parent != nil {
+	if nd.t.parent[nd.ix] != 0 {
 		d++
 	}
 	return d
 }
 
 // slotFor returns the child slot index that the search property assigns to
-// the target cut-space value: the number of thresholds strictly less than
-// the value, so that it falls in the interval (t(slot-1), t(slot)].
-func (nd *Node) slotFor(value int) int {
+// the target cut-space value at node ix: the number of thresholds strictly
+// less than the value, so that it falls in the interval (t(slot-1), t(slot)].
+// The span's thresholds ascend, so the scan stops at the first ≥ value.
+func (t *Tree) slotFor(ix int32, value int32) int {
+	sp := t.span(ix)
 	s := 0
-	for _, t := range nd.thresholds {
-		if t < value {
-			s++
+	for i := 1; i < len(sp); i += 2 {
+		if sp[i] >= value {
+			break
 		}
+		s++
 	}
 	return s
-}
-
-// childIndex returns the slot currently occupied by child c, or -1.
-func (nd *Node) childIndex(c *Node) int {
-	for i, ch := range nd.children {
-		if ch == c {
-			return i
-		}
-	}
-	return -1
 }

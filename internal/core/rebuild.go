@@ -18,162 +18,217 @@ const (
 // SetBlockPolicy selects the block-placement strategy used by rotations.
 func (t *Tree) SetBlockPolicy(p BlockPolicy) { t.blockPolicy = p }
 
-// rebuild restructures the fragment consisting of the parent-child path
-// path[0] (topmost) … path[d-1] (deepest) so that the deepest node becomes
-// the fragment root, implementing the paper's generalized rotation
-// (Section 4.1): merge the d routing arrays in in-order, then re-emit the
-// first d-1 nodes bottom-up, each taking a block of consecutive routing
-// elements whose induced gap covers its identifier; the final node takes
-// the remaining elements and the fragment's slot at the old parent.
+// The rebuilds below implement the paper's generalized rotation
+// (Section 4.1) for the two fragment sizes the splay loops use: merge the d
+// routing arrays in in-order, then re-emit the first d-1 nodes bottom-up,
+// each taking a block of consecutive routing elements whose induced gap
+// covers its identifier; the final (deepest) node takes the remaining
+// elements and the fragment's slot at the old parent. With d=2 this is
+// k-semi-splay (the zig generalization); with d=3 it is k-splay (the
+// zig-zig/zig-zag generalization).
 //
-// With d=2 this is k-semi-splay (the zig generalization); with d=3 it is
-// k-splay (the zig-zig/zig-zag generalization): when the two lower blocks
-// end up disjoint the result matches the paper's "first case" (both become
-// children of the new top), and when the second block's gap swallows the
-// first node's gap it matches the "second case" (a chain).
+// Node identifiers never change; only routing arrays and adjacency do — in
+// the arena representation a rotation is pure index surgery over the
+// interleaved spans. A node's span is its own in-order expansion
+// (kid0 thr0 kid1 … kid(k−1)), so merging the fragment is splicing child
+// spans into their slot positions — 3 (d=2) or 5 (d=3) contiguous block
+// copies — and a node's re-emitted block of k−1 routing elements plus its
+// k induced child slots is ONE contiguous window m[2s : 2s+2k−1] of the
+// merge. Because construction pads every routing array to exactly k−1
+// elements and rotations preserve fullness, every block is exactly
+// full-width (blockSize(d·(k−1), d, k−1) = k−1 identically) and the fixed
+// spans never need resizing.
 //
-// Node identifiers never change; only routing arrays and adjacency do.
+// The rebuilds are allocation-free: the merge goes through a per-tree
+// scratch slice preallocated at the d=3 maximum. The scratch makes a
+// rebuild — and therefore Serve on every tree-backed network —
+// non-reentrant per tree.
 //
-// rebuild is allocation-free in steady state: the in-order expansion goes
-// into per-tree scratch buffers, path membership is answered by generation
-// marks instead of a per-call set, and each node's thresholds/children
-// backing arrays are recycled (construction pads every routing array to
-// exactly k−1 elements and rotations preserve that, so the recycled
-// capacity never has to grow). The scratch buffers make rebuild — and
-// therefore Serve on every tree-backed network — non-reentrant per tree.
-func (t *Tree) rebuild(path []*Node) {
-	d := len(path)
-	if d < 2 {
-		return
-	}
-	top := path[0]
-	oldParent := top.parent
-	oldSlot := -1
-	if oldParent != nil {
-		oldSlot = oldParent.childIndex(top)
-	}
+// Empty child slots are index 0, and the parent-update loops deliberately
+// write parent[0] and slot[0] instead of branching on emptiness; index 0 of
+// both arrays is a scratch cell that no reader consults (Snapshot
+// normalizes parent[0]; slot is derived state and not serialized at all).
+// Likewise slot[root] is written unconditionally and only consulted when
+// the node actually has a parent.
 
-	// In-order expansion of the fragment: routing elements interleaved with
-	// hanging subtrees. Path nodes are expanded inline; everything else is
-	// an atomic hanging subtree (possibly nil for an empty slot).
-	t.markGen++
-	for _, nd := range path {
-		nd.mark = t.markGen
-	}
-	t.scratchElems = t.scratchElems[:0]
-	t.scratchSubs = t.scratchSubs[:0]
-	t.expandFragment(top)
-	elems := t.scratchElems
-	subs := t.scratchSubs
-
+// rebuild2 performs one two-node rebuild (a k-semi-splay step): x, a child
+// of p, takes p's place and p is re-hung in the induced gap of x's new
+// routing array.
+func (t *Tree) rebuild2(p, x int32) {
+	k := t.k
+	w := 2*k - 1 // interleaved span width
+	oldParent := t.parent[p]
+	oldSlot := t.slot[p] // meaningful only when oldParent != 0
 	var before map[edge]struct{}
 	if t.trackEdges {
-		before = t.fragmentEdges(path)
+		t.pathBuf[0], t.pathBuf[1] = p, x
+		before = t.fragmentEdges(t.pathBuf[:2])
 	}
 
-	// Bottom-up reconstruction: path[0..d-2] become interior/leaf nodes of
-	// the fragment; path[d-1] becomes the fragment root. The nodes' slice
-	// capacities are reused; the copies out of the scratch buffers are safe
-	// because expandFragment already detached the values from the nodes.
-	for i := 0; i < d-1; i++ {
-		x := path[i]
-		remNodes := d - i
-		b := blockSize(len(elems), remNodes, t.k-1)
-		j := intervalIndex(elems, t.idValue(x.id))
-		s := t.blockStart(j, b, len(elems))
+	spP, spX := t.span(p), t.span(x)
+	c := int(t.slot[x])
+	par, slot := t.parent, t.slot
 
-		x.thresholds = append(x.thresholds[:0], elems[s:s+b]...)
-		x.children = append(x.children[:0], subs[s:s+b+1]...)
-		for _, ch := range x.children {
-			if ch != nil {
-				ch.parent = x
-			}
-		}
-		elems = append(elems[:s], elems[s+b:]...)
-		subs[s] = x
-		subs = append(subs[:s+1], subs[s+b+1:]...)
+	// In-order merge of the fragment: p's span with x's span spliced into
+	// slot c (in-span offset 2c). The moves are scalar loops rather than
+	// copy(): every span is 2k−1 int32s, far below the length at which
+	// runtime.memmove's call overhead pays for itself on served arities.
+	m := t.scratch[:2*w-1]
+	mov(m[:2*c], spP[:2*c])
+	mov(m[2*c:2*c+w], spX)
+	mov(m[2*c+w:], spP[2*c+1:])
+
+	// p takes the full-width block whose induced gap covers its id.
+	j := mergedIntervalIndex(m, int32(t.idValue(int(p))))
+	s := blockStartAt(t.blockPolicy, j, k-1, 2*(k-1))
+	mov(spP, m[2*s:2*s+w])
+	for i := 0; i < w; i += 2 {
+		ch := spP[i]
+		par[ch] = p
+		slot[ch] = int32(i / 2)
 	}
-	newTop := path[d-1]
-	newTop.thresholds = append(newTop.thresholds[:0], elems...)
-	newTop.children = append(newTop.children[:0], subs...)
-	for _, ch := range newTop.children {
-		if ch != nil {
-			ch.parent = newTop
-		}
+
+	// x keeps the remainder, with p re-hung in the induced gap.
+	mov(spX[:2*s], m[:2*s])
+	spX[2*s] = p
+	mov(spX[2*s+1:], m[2*s+w:])
+	for i := 0; i < w; i += 2 {
+		ch := spX[i]
+		par[ch] = x
+		slot[ch] = int32(i / 2)
 	}
-	newTop.parent = oldParent
-	if oldParent == nil {
-		t.root = newTop
+
+	par[x] = oldParent
+	slot[x] = oldSlot
+	if oldParent == 0 {
+		t.root = x
 	} else {
-		oldParent.children[oldSlot] = newTop
+		t.span(oldParent)[2*oldSlot] = x
 	}
 
-	// Elementary-rotation accounting: a d-node rebuild lifts the deepest
-	// node d-1 levels, the work of d-1 parent-child flips (a k-semi-splay
-	// counts 1, a k-splay counts 2, exactly like zig vs zig-zig/zig-zag in
-	// binary splay trees).
-	t.rotations += int64(d - 1)
+	// Elementary-rotation accounting: one parent-child flip, exactly like
+	// zig in binary splay trees.
+	t.rotations++
 	if t.trackEdges {
-		after := t.fragmentEdges(path)
+		after := t.fragmentEdges(t.pathBuf[:2])
 		t.edgeChanges += int64(symmetricDiff(before, after))
 	}
 }
 
-// expandFragment emits the in-order expansion of the fragment rooted at nd
-// into the tree's scratch buffers. Nodes marked with the current rebuild
-// generation are on the fragment path and expand inline; everything else is
-// an atomic hanging subtree (possibly nil for an empty slot).
-func (t *Tree) expandFragment(nd *Node) {
-	for i, ch := range nd.children {
-		if i > 0 {
-			t.scratchElems = append(t.scratchElems, nd.thresholds[i-1])
-		}
-		if ch != nil && ch.mark == t.markGen {
-			t.expandFragment(ch)
-		} else {
-			t.scratchSubs = append(t.scratchSubs, ch)
-		}
+// rebuild3 performs one three-node rebuild (a k-splay step): x, a grandchild
+// of g through p, moves to the top of the three-node fragment. When the two
+// lower blocks end up disjoint the result matches the paper's "first case"
+// (both become children of the new top); when the second block's gap
+// swallows the first node's gap it matches the "second case" (a chain).
+func (t *Tree) rebuild3(g, p, x int32) {
+	k := t.k
+	w := 2*k - 1 // interleaved span width
+	oldParent := t.parent[g]
+	oldSlot := t.slot[g] // meaningful only when oldParent != 0
+	var before map[edge]struct{}
+	if t.trackEdges {
+		t.pathBuf[0], t.pathBuf[1], t.pathBuf[2] = g, p, x
+		before = t.fragmentEdges(t.pathBuf[:3])
 	}
-}
 
-// rebuild2 performs one two-node rebuild (a k-semi-splay step) through the
-// tree's fragment-path scratch buffer, avoiding a slice literal per step.
-func (t *Tree) rebuild2(p, x *Node) {
-	t.pathBuf[0], t.pathBuf[1] = p, x
-	t.rebuild(t.pathBuf[:2])
-}
+	spG, spP, spX := t.span(g), t.span(p), t.span(x)
+	cg := int(t.slot[p])
+	cp := int(t.slot[x])
+	par, slot := t.parent, t.slot
 
-// rebuild3 performs one three-node rebuild (a k-splay step) through the
-// tree's fragment-path scratch buffer.
-func (t *Tree) rebuild3(g, p, x *Node) {
-	t.pathBuf[0], t.pathBuf[1], t.pathBuf[2] = g, p, x
-	t.rebuild(t.pathBuf[:3])
+	// In-order merge: g's span with p's span spliced into slot cg, which in
+	// turn holds x's span spliced into slot cp.
+	m := t.scratch[:3*w-2]
+	mov(m[:2*cg], spG[:2*cg])
+	o := 2 * cg
+	mov(m[o:o+2*cp], spP[:2*cp])
+	o += 2 * cp
+	mov(m[o:o+w], spX)
+	o += w
+	mov(m[o:o+w-2*cp-1], spP[2*cp+1:])
+	o += w - 2*cp - 1
+	mov(m[o:], spG[2*cg+1:])
+
+	// g takes the first full-width block, then the merge is compacted with
+	// g re-hung in its induced gap.
+	j := mergedIntervalIndex(m, int32(t.idValue(int(g))))
+	s := blockStartAt(t.blockPolicy, j, k-1, 3*(k-1))
+	mov(spG, m[2*s:2*s+w])
+	for i := 0; i < w; i += 2 {
+		ch := spG[i]
+		par[ch] = g
+		slot[ch] = int32(i / 2)
+	}
+	m[2*s] = g
+	mov(m[2*s+1:], m[2*s+w:])
+	m = m[:2*w-1]
+
+	// p takes the next block from the remainder.
+	j = mergedIntervalIndex(m, int32(t.idValue(int(p))))
+	s = blockStartAt(t.blockPolicy, j, k-1, 2*(k-1))
+	mov(spP, m[2*s:2*s+w])
+	for i := 0; i < w; i += 2 {
+		ch := spP[i]
+		par[ch] = p
+		slot[ch] = int32(i / 2)
+	}
+
+	// x keeps the rest, with p re-hung in the induced gap.
+	mov(spX[:2*s], m[:2*s])
+	spX[2*s] = p
+	mov(spX[2*s+1:], m[2*s+w:])
+	for i := 0; i < w; i += 2 {
+		ch := spX[i]
+		par[ch] = x
+		slot[ch] = int32(i / 2)
+	}
+
+	par[x] = oldParent
+	slot[x] = oldSlot
+	if oldParent == 0 {
+		t.root = x
+	} else {
+		t.span(oldParent)[2*oldSlot] = x
+	}
+
+	// A three-node rebuild lifts the deepest node two levels: the work of
+	// two parent-child flips, exactly like zig-zig/zig-zag in binary splay
+	// trees.
+	t.rotations += 2
+	if t.trackEdges {
+		after := t.fragmentEdges(t.pathBuf[:3])
+		t.edgeChanges += int64(symmetricDiff(before, after))
+	}
 }
 
 // SemiSplay performs one k-semi-splay rotation: y, a non-root node, becomes
 // the parent of its current parent. It returns an error if y is the root.
 func (t *Tree) SemiSplay(y *Node) error {
-	if y.parent == nil {
-		return fmt.Errorf("core: cannot semi-splay the root (node %d)", y.id)
+	p := t.parent[y.ix]
+	if p == 0 {
+		return fmt.Errorf("core: cannot semi-splay the root (node %d)", y.ix)
 	}
-	t.rebuild2(y.parent, y)
+	t.rebuild2(p, y.ix)
 	return nil
 }
 
 // SplayStep performs one k-splay rotation: z, a node with a grandparent,
 // moves to the top of the three-node fragment (grandparent, parent, z).
 func (t *Tree) SplayStep(z *Node) error {
-	if z.parent == nil || z.parent.parent == nil {
-		return fmt.Errorf("core: k-splay needs a grandparent (node %d)", z.id)
+	p := t.parent[z.ix]
+	if p == 0 || t.parent[p] == 0 {
+		return fmt.Errorf("core: k-splay needs a grandparent (node %d)", z.ix)
 	}
-	t.rebuild3(z.parent.parent, z.parent, z)
+	t.rebuild3(t.parent[p], p, z.ix)
 	return nil
 }
 
 // blockSize picks the number of routing elements the next rebuilt node
 // takes: balanced across the remaining nodes, but always leaving at most
 // maxB elements for the nodes still to be placed (feasibility) and never
-// exceeding maxB itself.
+// exceeding maxB itself. With full routing arrays (avail = rem·maxB) it is
+// identically maxB — the specialized rebuilds above rely on exactly that;
+// the pointer-reference differential test exercises the general form.
 func blockSize(avail, remNodes, maxB int) int {
 	b := (avail + remNodes - 1) / remNodes // ceil: balanced share
 	if lo := avail - maxB*(remNodes-1); b < lo {
@@ -193,7 +248,8 @@ func blockSize(avail, remNodes, maxB int) int {
 
 // intervalIndex returns the index of the interval of the sorted element
 // array that contains the cut-space value under threshold semantics: the
-// number of elements strictly less than the value.
+// number of elements strictly less than the value. (The pointer-reference
+// differential test shares it.)
 func intervalIndex(elems []int, value int) int {
 	j := 0
 	for _, e := range elems {
@@ -204,10 +260,37 @@ func intervalIndex(elems []int, value int) int {
 	return j
 }
 
-// blockStart chooses the starting index of a b-element block such that the
+// mov copies src into dst[:len(src)] with a forward scalar loop. The
+// rebuilds move spans of 2k−1 int32s — far below the size at which a
+// runtime.memmove call pays for itself — and the one overlapping use
+// (the d=3 compaction) shifts left, which forward order handles.
+func mov(dst, src []int32) {
+	_ = dst[:len(src)]
+	for i := 0; i < len(src); i++ {
+		dst[i] = src[i]
+	}
+}
+
+// mergedIntervalIndex is intervalIndex over an interleaved in-order merge:
+// routing elements sit at odd offsets and — being an in-order expansion —
+// ascend, so the scan stops at the first element ≥ value.
+func mergedIntervalIndex(m []int32, value int32) int {
+	j := 0
+	for i := 1; i < len(m); i += 2 {
+		if m[i] >= value {
+			break
+		}
+		j++
+	}
+	return j
+}
+
+// blockStartAt chooses the starting index of a b-element block such that the
 // induced gap (the merged interval left after removing the block) contains
 // the id sitting in interval j. Feasible starts are [max(0,j-b), min(j,L-b)].
-func (t *Tree) blockStart(j, b, L int) int {
+// It is a pure function of the policy so the arena rebuild and the
+// pointer-reference differential test share one implementation.
+func blockStartAt(policy BlockPolicy, j, b, L int) int {
 	lo := j - b
 	if lo < 0 {
 		lo = 0
@@ -216,7 +299,7 @@ func (t *Tree) blockStart(j, b, L int) int {
 	if hi > L-b {
 		hi = L - b
 	}
-	if t.blockPolicy == BlockLeftmost {
+	if policy == BlockLeftmost {
 		return lo
 	}
 	s := j - b/2
@@ -234,19 +317,16 @@ type edge struct{ parent, child int }
 // fragmentEdges snapshots the parent-child links incident to the fragment:
 // the links from each path node to its children and to its parent (0 when
 // the node is the tree root).
-func (t *Tree) fragmentEdges(path []*Node) map[edge]struct{} {
+func (t *Tree) fragmentEdges(path []int32) map[edge]struct{} {
 	set := make(map[edge]struct{}, len(path)*t.k)
-	for _, nd := range path {
-		for _, ch := range nd.children {
-			if ch != nil {
-				set[edge{nd.id, ch.id}] = struct{}{}
+	for _, ix := range path {
+		sp := t.span(ix)
+		for i := 0; i < len(sp); i += 2 {
+			if ch := sp[i]; ch != 0 {
+				set[edge{int(ix), int(ch)}] = struct{}{}
 			}
 		}
-		pid := 0
-		if nd.parent != nil {
-			pid = nd.parent.id
-		}
-		set[edge{pid, nd.id}] = struct{}{}
+		set[edge{int(t.parent[ix]), int(ix)}] = struct{}{}
 	}
 	return set
 }

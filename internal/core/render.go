@@ -15,17 +15,19 @@ func (t *Tree) Render() string {
 	return b.String()
 }
 
-func (t *Tree) renderNode(b *strings.Builder, nd *Node, prefix, childPrefix string) {
-	fmt.Fprintf(b, "%s%d", prefix, nd.id)
-	if len(nd.thresholds) > 0 {
+func (t *Tree) renderNode(b *strings.Builder, ix int32, prefix, childPrefix string) {
+	fmt.Fprintf(b, "%s%d", prefix, ix)
+	sp := t.span(ix)
+	if t.k > 1 {
 		b.WriteString(" r=[")
-		for i, th := range nd.thresholds {
+		for i := 0; i < t.k-1; i++ {
 			if i > 0 {
 				b.WriteByte(' ')
 			}
 			// Render cuts in id space; non-integer cuts get one decimal.
-			if th%t.scale == 0 {
-				fmt.Fprintf(b, "%d", th/t.scale)
+			th := sp[2*i+1]
+			if int(th)%t.scale == 0 {
+				fmt.Fprintf(b, "%d", int(th)/t.scale)
 			} else {
 				fmt.Fprintf(b, "%.1f", float64(th)/float64(t.scale))
 			}
@@ -33,9 +35,9 @@ func (t *Tree) renderNode(b *strings.Builder, nd *Node, prefix, childPrefix stri
 		b.WriteString("]")
 	}
 	b.WriteByte('\n')
-	var kids []*Node
-	for _, ch := range nd.children {
-		if ch != nil {
+	var kids []int32
+	for i := 0; i < len(sp); i += 2 {
+		if ch := sp[i]; ch != 0 {
 			kids = append(kids, ch)
 		}
 	}
@@ -49,13 +51,12 @@ func (t *Tree) renderNode(b *strings.Builder, nd *Node, prefix, childPrefix stri
 }
 
 // Parents returns the parent id of every node (0 for the root), a compact
-// serialization of the topology used by tests and trace tooling.
+// serialization of the topology used by tests and trace tooling. In the
+// arena representation this is a plain widening copy of the parent array.
 func (t *Tree) Parents() []int {
 	out := make([]int, t.n+1)
 	for id := 1; id <= t.n; id++ {
-		if p := t.byID[id].parent; p != nil {
-			out[id] = p.id
-		}
+		out[id] = int(t.parent[id])
 	}
 	return out
 }
@@ -66,26 +67,28 @@ func (t *Tree) Parents() []int {
 func (t *Tree) DOT() string {
 	var b strings.Builder
 	b.WriteString("digraph ksan {\n  node [shape=record];\n")
-	var walk func(nd *Node)
-	walk = func(nd *Node) {
-		fmt.Fprintf(&b, "  n%d [label=\"%d", nd.id, nd.id)
-		if len(nd.thresholds) > 0 {
+	var walk func(ix int32)
+	walk = func(ix int32) {
+		fmt.Fprintf(&b, "  n%d [label=\"%d", ix, ix)
+		sp := t.span(ix)
+		if t.k > 1 {
 			b.WriteString("|")
-			for i, th := range nd.thresholds {
+			for i := 0; i < t.k-1; i++ {
 				if i > 0 {
 					b.WriteByte(' ')
 				}
-				if th%t.scale == 0 {
-					fmt.Fprintf(&b, "%d", th/t.scale)
+				th := sp[2*i+1]
+				if int(th)%t.scale == 0 {
+					fmt.Fprintf(&b, "%d", int(th)/t.scale)
 				} else {
 					fmt.Fprintf(&b, "%.1f", float64(th)/float64(t.scale))
 				}
 			}
 		}
 		b.WriteString("\"];\n")
-		for _, ch := range nd.children {
-			if ch != nil {
-				fmt.Fprintf(&b, "  n%d -> n%d;\n", nd.id, ch.id)
+		for i := 0; i < len(sp); i += 2 {
+			if ch := sp[i]; ch != 0 {
+				fmt.Fprintf(&b, "  n%d -> n%d;\n", ix, ch)
 				walk(ch)
 			}
 		}

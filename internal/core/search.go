@@ -12,17 +12,18 @@ func (t *Tree) SearchFromRoot(id int) ([]int, error) {
 		return nil, fmt.Errorf("core: id %d out of range 1..%d", id, t.n)
 	}
 	path := make([]int, 0, 8)
-	nd := t.root
+	value := int32(t.idValue(id))
+	ix := t.root
 	for {
-		path = append(path, nd.id)
-		if nd.id == id {
+		path = append(path, int(ix))
+		if int(ix) == id {
 			return path, nil
 		}
-		ch := nd.children[nd.slotFor(t.idValue(id))]
-		if ch == nil {
-			return path, fmt.Errorf("core: search for %d dead-ends at node %d (search property violated)", id, nd.id)
+		ch := t.span(ix)[2*t.slotFor(ix, value)]
+		if ch == 0 {
+			return path, fmt.Errorf("core: search for %d dead-ends at node %d (search property violated)", id, ix)
 		}
-		nd = ch
+		ix = ch
 	}
 }
 
@@ -30,16 +31,16 @@ func (t *Tree) SearchFromRoot(id int) ([]int, error) {
 // reverse-search path up to their lowest common ancestor followed by the
 // greedy search path down to v. Its length minus one equals Distance.
 func (t *Tree) RoutePath(u, v int) []int {
-	a, b := t.byID[u], t.byID[v]
+	a, b := t.NodeByID(u), t.NodeByID(v)
 	w := t.LCA(a, b)
 	var up []int
-	for nd := a; nd != w; nd = nd.parent {
-		up = append(up, nd.id)
+	for ix := a.ix; ix != w.ix; ix = t.parent[ix] {
+		up = append(up, int(ix))
 	}
-	up = append(up, w.id)
+	up = append(up, int(w.ix))
 	var down []int
-	for nd := b; nd != w; nd = nd.parent {
-		down = append(down, nd.id)
+	for ix := b.ix; ix != w.ix; ix = t.parent[ix] {
+		down = append(down, int(ix))
 	}
 	for i := len(down) - 1; i >= 0; i-- {
 		up = append(up, down[i])
@@ -58,44 +59,19 @@ func (t *Tree) RoutePath(u, v int) []int {
 // inside its interval (at most depth-many, maintained with O(k) work per
 // rotation); the decision below is exactly the one that bookkeeping yields.
 func (t *Tree) NextHop(at *Node, dst int) (*Node, error) {
-	if at.id == dst {
+	if int(at.ix) == dst {
 		return nil, fmt.Errorf("core: node %d already holds the packet for itself", dst)
 	}
 	if dst < 1 || dst > t.n {
 		return nil, fmt.Errorf("core: destination %d out of range 1..%d", dst, t.n)
 	}
-	w := t.LCA(at, t.byID[dst])
+	w := t.LCA(at, t.NodeByID(dst))
 	if at != w {
-		return at.parent, nil
+		return at.Parent(), nil
 	}
-	ch := at.children[at.slotFor(t.idValue(dst))]
-	if ch == nil {
-		return nil, fmt.Errorf("core: search property violated at node %d for destination %d", at.id, dst)
+	ch := t.span(at.ix)[2*t.slotFor(at.ix, int32(t.idValue(dst)))]
+	if ch == 0 {
+		return nil, fmt.Errorf("core: search property violated at node %d for destination %d", at.ix, dst)
 	}
-	return ch, nil
-}
-
-// slotInterval reconstructs the cut-space interval (lo, hi] of the slot nd
-// occupies at its parent (the whole cut space for the root). O(depth·k).
-func (t *Tree) slotInterval(nd *Node) (lo, hi int) {
-	lo, hi = 0, t.n*t.scale
-	path := make([]*Node, 0, 16)
-	for p := nd; p != nil; p = p.parent {
-		path = append(path, p)
-	}
-	for i := len(path) - 1; i > 0; i-- {
-		parent, child := path[i], path[i-1]
-		slot := parent.childIndex(child)
-		if slot > 0 {
-			if l := parent.thresholds[slot-1]; l > lo {
-				lo = l
-			}
-		}
-		if slot < len(parent.thresholds) {
-			if h := parent.thresholds[slot]; h < hi {
-				hi = h
-			}
-		}
-	}
-	return lo, hi
+	return &t.nodes[ch], nil
 }

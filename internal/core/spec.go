@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Spec is a declarative description of a k-ary search tree used by the
 // static builders (full tree, DP optimum, centroid tree) and by tests.
@@ -25,7 +28,13 @@ type Spec struct {
 // empty sliver just below the node's own id value (which never separates
 // two ids, because ids are k apart in cut space). Full routing arrays match
 // the paper's node model (Fig. 1) and are preserved by rotations, which
-// redistribute but never consume routing elements.
+// redistribute but never consume routing elements — and they are what makes
+// the arena's fixed-stride threshold/child spans sound.
+//
+// Build allocates the whole arena up front (a handful of flat slices
+// instead of one heap object per node), so spec materialization — including
+// the DP solver's result construction and every lazy-rebuild tree swap —
+// costs O(1) allocations in the node count.
 func Build(k int, spec *Spec) (*Tree, error) {
 	if spec == nil {
 		return nil, fmt.Errorf("core: nil spec")
@@ -34,14 +43,18 @@ func Build(k int, spec *Spec) (*Tree, error) {
 	if err := checkIDRange(n, k); err != nil {
 		return nil, err
 	}
-	t := &Tree{k: k, n: n, scale: k, byID: make([]*Node, n+1)}
-	root, err := t.buildSpec(spec, nil, 0, n*k)
+	if n > math.MaxInt32/k {
+		return nil, fmt.Errorf("core: n·k = %d·%d overflows the int32 cut space", n, k)
+	}
+	t := newArena(n, k)
+	seen := make([]bool, n+1)
+	root, err := t.buildSpec(spec, 0, 0, n*k, seen)
 	if err != nil {
 		return nil, err
 	}
 	t.root = root
 	for id := 1; id <= n; id++ {
-		if t.byID[id] == nil {
+		if !seen[id] {
 			return nil, fmt.Errorf("core: spec is missing id %d", id)
 		}
 	}
@@ -86,28 +99,28 @@ func specIDRange(s *Spec) (lo, hi int) {
 	return lo, hi
 }
 
-// buildSpec constructs the node for s whose slot covers the cut-space
-// interval (lo, hi].
-func (t *Tree) buildSpec(s *Spec, parent *Node, lo, hi int) (*Node, error) {
+// buildSpec fills in the arena state for s, whose slot covers the cut-space
+// interval (lo, hi], and returns the node's arena index.
+func (t *Tree) buildSpec(s *Spec, parent int32, lo, hi int, seen []bool) (int32, error) {
 	iv := s.ID * t.scale
 	if s.ID < 1 || s.ID > t.n {
-		return nil, fmt.Errorf("core: id %d out of range 1..%d", s.ID, t.n)
+		return 0, fmt.Errorf("core: id %d out of range 1..%d", s.ID, t.n)
 	}
 	if iv <= lo || iv > hi {
-		return nil, fmt.Errorf("core: id %d outside its slot interval", s.ID)
+		return 0, fmt.Errorf("core: id %d outside its slot interval", s.ID)
 	}
-	if t.byID[s.ID] != nil {
-		return nil, fmt.Errorf("core: duplicate id %d", s.ID)
+	if seen[s.ID] {
+		return 0, fmt.Errorf("core: duplicate id %d", s.ID)
 	}
 	if len(s.Thresholds) > t.k-1 {
-		return nil, fmt.Errorf("core: node %d has %d routing elements, max is %d", s.ID, len(s.Thresholds), t.k-1)
+		return 0, fmt.Errorf("core: node %d has %d routing elements, max is %d", s.ID, len(s.Thresholds), t.k-1)
 	}
 	children := s.Children
 	if children == nil {
 		children = make([]*Spec, len(s.Thresholds)+1)
 	}
 	if len(children) != len(s.Thresholds)+1 {
-		return nil, fmt.Errorf("core: node %d has %d thresholds but %d child slots", s.ID, len(s.Thresholds), len(children))
+		return 0, fmt.Errorf("core: node %d has %d thresholds but %d child slots", s.ID, len(s.Thresholds), len(children))
 	}
 
 	// Scale the spec thresholds and validate monotonicity within (lo, hi].
@@ -116,10 +129,10 @@ func (t *Tree) buildSpec(s *Spec, parent *Node, lo, hi int) (*Node, error) {
 	for i, th := range s.Thresholds {
 		v := th * t.scale
 		if v <= prev {
-			return nil, fmt.Errorf("core: node %d thresholds not strictly increasing within its interval", s.ID)
+			return 0, fmt.Errorf("core: node %d thresholds not strictly increasing within its interval", s.ID)
 		}
 		if v > hi {
-			return nil, fmt.Errorf("core: node %d threshold %d exceeds its interval", s.ID, th)
+			return 0, fmt.Errorf("core: node %d threshold %d exceeds its interval", s.ID, th)
 		}
 		ths[i] = v
 		prev = v
@@ -145,7 +158,7 @@ func (t *Tree) buildSpec(s *Spec, parent *Node, lo, hi int) (*Node, error) {
 			case clo > s.ID:
 				side = +1
 			default:
-				return nil, fmt.Errorf("core: node %d cannot pad its routing array: child slot %d spans ids %d..%d across the node id", s.ID, j, clo, chi)
+				return 0, fmt.Errorf("core: node %d cannot pad its routing array: child slot %d spans ids %d..%d across the node id", s.ID, j, clo, chi)
 			}
 		}
 		newThs := make([]int, 0, t.k-1)
@@ -173,13 +186,13 @@ func (t *Tree) buildSpec(s *Spec, parent *Node, lo, hi int) (*Node, error) {
 		ths, children = newThs, newChs
 	}
 
-	nd := &Node{
-		id:         s.ID,
-		parent:     parent,
-		thresholds: ths,
-		children:   make([]*Node, len(children)),
+	ix := int32(s.ID)
+	seen[s.ID] = true
+	t.parent[ix] = parent
+	sp := t.span(ix)
+	for i, v := range ths {
+		sp[2*i+1] = int32(v)
 	}
-	t.byID[s.ID] = nd
 	slotLo := lo
 	for i, chSpec := range children {
 		slotHi := hi
@@ -188,15 +201,16 @@ func (t *Tree) buildSpec(s *Spec, parent *Node, lo, hi int) (*Node, error) {
 		}
 		if chSpec != nil {
 			if slotLo >= slotHi {
-				return nil, fmt.Errorf("core: node %d has a child in an empty slot", s.ID)
+				return 0, fmt.Errorf("core: node %d has a child in an empty slot", s.ID)
 			}
-			ch, err := t.buildSpec(chSpec, nd, slotLo, slotHi)
+			ch, err := t.buildSpec(chSpec, ix, slotLo, slotHi, seen)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			nd.children[i] = ch
+			sp[2*i] = ch
+			t.slot[ch] = int32(i)
 		}
 		slotLo = slotHi
 	}
-	return nd, nil
+	return ix, nil
 }

@@ -12,15 +12,21 @@ import "fmt"
 // the destination to a child of the source; the centroid (k+1)-SplayNet
 // splays endpoints to their subtree roots.
 func (t *Tree) SplayUntilParent(x *Node, stop *Node) {
-	for x.parent != stop {
-		p := x.parent
-		if p == nil {
-			panic(fmt.Sprintf("core: splay target (parent %v) is not an ancestor of node %d", stopID(stop), x.id))
+	xi := x.ix
+	var si int32
+	if stop != nil {
+		si = stop.ix
+	}
+	par := t.parent // rebuilds mutate entries, never the slice itself
+	for par[xi] != si {
+		p := par[xi]
+		if p == 0 {
+			panic(fmt.Sprintf("core: splay target (parent %v) is not an ancestor of node %d", stopLabel(si), xi))
 		}
-		if p.parent == stop {
-			t.rebuild2(p, x)
+		if g := par[p]; g == si {
+			t.rebuild2(p, xi)
 		} else {
-			t.rebuild3(p.parent, p, x)
+			t.rebuild3(g, p, xi)
 		}
 	}
 }
@@ -29,18 +35,24 @@ func (t *Tree) SplayUntilParent(x *Node, stop *Node) {
 // (k-semi-splay) steps; it exists for the rotation-repertoire ablation,
 // which measures the value of the double k-splay step.
 func (t *Tree) SemiSplayUntilParent(x *Node, stop *Node) {
-	for x.parent != stop {
-		p := x.parent
-		if p == nil {
-			panic(fmt.Sprintf("core: splay target (parent %v) is not an ancestor of node %d", stopID(stop), x.id))
+	xi := x.ix
+	var si int32
+	if stop != nil {
+		si = stop.ix
+	}
+	par := t.parent
+	for par[xi] != si {
+		p := par[xi]
+		if p == 0 {
+			panic(fmt.Sprintf("core: splay target (parent %v) is not an ancestor of node %d", stopLabel(si), xi))
 		}
-		t.rebuild2(p, x)
+		t.rebuild2(p, xi)
 	}
 }
 
-func stopID(stop *Node) interface{} {
-	if stop == nil {
+func stopLabel(si int32) interface{} {
+	if si == 0 {
 		return "<root>"
 	}
-	return stop.id
+	return si
 }

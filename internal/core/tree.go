@@ -4,29 +4,91 @@ import "fmt"
 
 // Tree is a k-ary search tree network on nodes with identifiers 1..n.
 //
+// Node state is stored index-based in flat structure-of-arrays slices (the
+// arena): node id i occupies arena index i, index 0 is the nil sentinel.
+// parent[i] is the parent index (0 for the root), and every node owns a
+// fixed-stride span of the shared packed rc array holding its child slots
+// and routing elements interleaved in in-order:
+//
+//	rc[(i−1)·(2k−1) : i·(2k−1)] = kid0 thr0 kid1 thr1 … thr(k−2) kid(k−1)
+//
+// with child indices at even in-span offsets (0 = empty slot) and cut-space
+// thresholds at odd offsets. The fixed stride is sound because construction
+// pads every routing array to exactly k−1 elements and rotations preserve
+// fullness (Validate enforces it); the interleaving is chosen because a
+// node's span then IS its in-order expansion, so the d-node rebuild merges
+// and re-emits whole fragments with a handful of contiguous block copies.
+// The serve hot path — DistanceLCA and the splay rebuilds — walks these
+// dense int32 arrays instead of chasing per-node heap objects, and the same
+// slices double as the tree's serialization format (see Snapshot).
+//
 // The zero value is not usable; construct trees with NewBalanced, NewPath,
-// NewRandom or Build (from a Spec).
+// NewRandom, Build (from a Spec) or FromSnapshot.
 type Tree struct {
 	k     int
 	n     int
 	scale int // cut-space scale: id i sits at value i·scale
-	root  *Node
-	byID  []*Node // byID[id] for id in 1..n; byID[0] unused
+
+	root   int32
+	parent []int32 // parent[id]; 0 = none; index 0 is rebuild scratch
+	rc     []int32 // interleaved child-slot/routing-element spans, 2k−1 per node
+	slot   []int32 // slot[id]: the child slot id occupies in its parent; index 0 and the root's entry are scratch
+
+	// nodes backs the *Node handles handed out by NodeByID, Root, Parent
+	// and Child: nodes[id] is allocated once at construction and never
+	// moves, so handle pointers are stable across rotations (identifier
+	// permanence).
+	nodes []Node
 
 	rotations   int64
 	edgeChanges int64
 	trackEdges  bool
 	blockPolicy BlockPolicy
 
-	// Per-tree rotation scratch space, owned by rebuild and the splay
-	// loops. Serving is strictly sequential under the engine's determinism
-	// contract, so a single set of buffers per tree suffices; sharing them
-	// across concurrent mutators of the same tree is not supported (see
-	// DESIGN.md on serve-path reentrancy).
-	pathBuf      [3]*Node // fragment paths for splay steps (d ≤ 3)
-	scratchElems []int    // in-order routing elements of the fragment
-	scratchSubs  []*Node  // hanging subtrees interleaved with the elements
-	markGen      uint64   // generation counter for path-membership marks
+	// Per-tree rotation scratch space, owned by the rebuilds, preallocated
+	// at the d=3 maximum. Serving is strictly sequential under the engine's
+	// determinism contract, so a single set of buffers per tree suffices;
+	// sharing them across concurrent mutators of the same tree is not
+	// supported (see DESIGN.md on serve-path reentrancy).
+	pathBuf [3]int32 // fragment path for edge-churn snapshots (d ≤ 3)
+	scratch []int32  // interleaved in-order expansion of the fragment
+}
+
+// span returns node ix's interleaved child/threshold span of the packed
+// backing array: 2k−1 entries, child slots at even offsets (0 = empty),
+// strictly increasing cut-space thresholds at odd offsets.
+func (t *Tree) span(ix int32) []int32 {
+	w := 2*t.k - 1
+	base := int(ix-1) * w
+	return t.rc[base : base+w : base+w]
+}
+
+// nodeOrNil maps an arena index to its stable handle, with 0 → nil.
+func (t *Tree) nodeOrNil(ix int32) *Node {
+	if ix == 0 {
+		return nil
+	}
+	return &t.nodes[ix]
+}
+
+// newArena allocates the flat node storage and the stable handle array for
+// a tree of n nodes with arity k (all spans zeroed = empty).
+func newArena(n, k int) *Tree {
+	t := &Tree{
+		k:      k,
+		n:      n,
+		scale:  k,
+		parent: make([]int32, n+1),
+		rc:     make([]int32, n*(2*k-1)),
+		slot:   make([]int32, n+1),
+		nodes:  make([]Node, n+1),
+
+		scratch: make([]int32, 3*(2*k-1)-2),
+	}
+	for id := 1; id <= n; id++ {
+		t.nodes[id] = Node{t: t, ix: int32(id)}
+	}
+	return t
 }
 
 // K returns the arity bound: every node has at most k children and at most
@@ -37,11 +99,16 @@ func (t *Tree) K() int { return t.k }
 func (t *Tree) N() int { return t.n }
 
 // Root returns the current tree root.
-func (t *Tree) Root() *Node { return t.root }
+func (t *Tree) Root() *Node { return t.nodeOrNil(t.root) }
 
 // NodeByID returns the node with the given identifier. It panics if id is
 // outside 1..n, mirroring slice indexing semantics.
-func (t *Tree) NodeByID(id int) *Node { return t.byID[id] }
+func (t *Tree) NodeByID(id int) *Node {
+	if id == 0 {
+		return nil
+	}
+	return &t.nodes[id]
+}
 
 // idValue maps an identifier into the scaled cut space in which routing
 // elements live: id i sits at value i·k, leaving k−1 usable cut positions
@@ -73,15 +140,17 @@ func (t *Tree) ResetCounters() {
 	t.edgeChanges = 0
 }
 
-// Depth returns the number of edges between nd and the root.
-func (t *Tree) Depth(nd *Node) int {
+// depthIx returns the number of edges between arena index ix and the root.
+func (t *Tree) depthIx(ix int32) int {
 	d := 0
-	for nd.parent != nil {
-		nd = nd.parent
+	for p := t.parent[ix]; p != 0; p = t.parent[p] {
 		d++
 	}
 	return d
 }
+
+// Depth returns the number of edges between nd and the root.
+func (t *Tree) Depth(nd *Node) int { return t.depthIx(nd.ix) }
 
 // LCA returns the lowest common ancestor of a and b.
 func (t *Tree) LCA(a, b *Node) *Node {
@@ -99,50 +168,53 @@ func (t *Tree) Distance(a, b *Node) int {
 
 // DistanceLCA returns the routing-path length between a and b together with
 // their lowest common ancestor, in a single fused traversal: two depth
-// walks plus one synchronized climb, instead of the two full Distance/LCA
-// passes the serve paths used to make. The self-adjusting networks need
-// both values for every request (the distance is the routing cost, the LCA
-// is the splay target), so the fusion halves the pointer-chasing before
-// each adjustment.
+// walks plus one synchronized climb. The self-adjusting networks need both
+// values for every request (the distance is the routing cost, the LCA is
+// the splay target). All three walks run over the dense parent[] index
+// array — for the tree sizes the experiments serve it stays resident in L1,
+// which is what this layout buys on the hot path.
 func (t *Tree) DistanceLCA(a, b *Node) (int, *Node) {
-	if a == b {
+	ia, ib := a.ix, b.ix
+	if ia == ib {
 		return 0, a
 	}
-	da, db := t.Depth(a), t.Depth(b)
+	par := t.parent
+	da, db := t.depthIx(ia), t.depthIx(ib)
 	dist := 0
 	for da > db {
-		a = a.parent
+		ia = par[ia]
 		da--
 		dist++
 	}
 	for db > da {
-		b = b.parent
+		ib = par[ib]
 		db--
 		dist++
 	}
-	for a != b {
-		a = a.parent
-		b = b.parent
+	for ia != ib {
+		ia = par[ia]
+		ib = par[ib]
 		dist += 2
 	}
-	return dist, a
+	return dist, &t.nodes[ia]
 }
 
 // DistanceID is Distance on node identifiers.
 func (t *Tree) DistanceID(u, v int) int {
-	return t.Distance(t.byID[u], t.byID[v])
+	return t.Distance(t.NodeByID(u), t.NodeByID(v))
 }
 
 // Height returns the maximum node depth in the tree.
 func (t *Tree) Height() int {
 	h := 0
-	var walk func(nd *Node, d int)
-	walk = func(nd *Node, d int) {
+	var walk func(ix int32, d int)
+	walk = func(ix int32, d int) {
 		if d > h {
 			h = d
 		}
-		for _, ch := range nd.children {
-			if ch != nil {
+		sp := t.span(ix)
+		for i := 0; i < len(sp); i += 2 {
+			if ch := sp[i]; ch != 0 {
 				walk(ch, d+1)
 			}
 		}
@@ -158,15 +230,16 @@ func (t *Tree) Height() int {
 func (t *Tree) TotalPairDistanceUniform() int64 {
 	var total int64
 	n := int64(t.n)
-	var size func(nd *Node) int64
-	size = func(nd *Node) int64 {
+	var size func(ix int32) int64
+	size = func(ix int32) int64 {
 		s := int64(1)
-		for _, ch := range nd.children {
-			if ch != nil {
+		sp := t.span(ix)
+		for i := 0; i < len(sp); i += 2 {
+			if ch := sp[i]; ch != 0 {
 				s += size(ch)
 			}
 		}
-		if nd.parent != nil {
+		if t.parent[ix] != 0 {
 			total += s * (n - s)
 		}
 		return s
@@ -178,12 +251,13 @@ func (t *Tree) TotalPairDistanceUniform() int64 {
 // AverageDepth returns the mean node depth (useful for shape diagnostics).
 func (t *Tree) AverageDepth() float64 {
 	var sum, cnt int64
-	var walk func(nd *Node, d int)
-	walk = func(nd *Node, d int) {
+	var walk func(ix int32, d int)
+	walk = func(ix int32, d int) {
 		sum += int64(d)
 		cnt++
-		for _, ch := range nd.children {
-			if ch != nil {
+		sp := t.span(ix)
+		for i := 0; i < len(sp); i += 2 {
+			if ch := sp[i]; ch != 0 {
 				walk(ch, d+1)
 			}
 		}

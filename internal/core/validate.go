@@ -5,9 +5,11 @@ import "fmt"
 // Validate checks every structural invariant of the k-ary search tree
 // network and returns the first violation found:
 //
-//   - the id↔node map covers exactly 1..n and parent/child links agree,
+//   - the arena covers exactly ids 1..n, parent/child links agree, and the
+//     stable handle array points back at this tree,
 //   - every node carries exactly k−1 routing elements (the paper's node
-//     model, Fig. 1; Build pads arrays and rotations preserve fullness)
+//     model, Fig. 1; Build pads arrays and rotations preserve fullness —
+//     this is also what licenses the arena's fixed-stride spans)
 //     and exactly one more child slot than routing elements,
 //   - routing elements are strictly increasing and lie inside the node's
 //     slot interval in cut space, and the node's own id value does too,
@@ -18,62 +20,67 @@ import "fmt"
 // Validate is O(n·depth); it is used pervasively by tests and is cheap
 // enough to call after every operation on small trees.
 func (t *Tree) Validate() error {
-	if t.root == nil {
+	if t.root == 0 {
 		return fmt.Errorf("core: nil root")
 	}
-	if t.root.parent != nil {
-		return fmt.Errorf("core: root %d has a parent", t.root.id)
+	if t.parent[t.root] != 0 {
+		return fmt.Errorf("core: root %d has a parent", t.root)
 	}
-	if len(t.byID) != t.n+1 {
-		return fmt.Errorf("core: byID has %d entries, want %d", len(t.byID), t.n+1)
+	if len(t.parent) != t.n+1 || len(t.nodes) != t.n+1 {
+		return fmt.Errorf("core: arena has %d parent entries, want %d", len(t.parent), t.n+1)
+	}
+	if len(t.rc) != t.n*(2*t.k-1) {
+		return fmt.Errorf("core: arena holds %d span entries, want %d", len(t.rc), t.n*(2*t.k-1))
+	}
+	for id := 1; id <= t.n; id++ {
+		if h := &t.nodes[id]; h.t != t || h.ix != int32(id) {
+			return fmt.Errorf("core: handle %d does not point back at its arena slot", id)
+		}
 	}
 	seen := make([]bool, t.n+1)
 	count := 0
-	var walk func(nd *Node, lo, hi int) error
-	walk = func(nd *Node, lo, hi int) error {
-		if nd.id < 1 || nd.id > t.n {
-			return fmt.Errorf("core: node id %d out of range 1..%d", nd.id, t.n)
+	var walk func(ix int32, lo, hi int) error
+	walk = func(ix int32, lo, hi int) error {
+		id := int(ix)
+		if id < 1 || id > t.n {
+			return fmt.Errorf("core: node id %d out of range 1..%d", id, t.n)
 		}
-		if seen[nd.id] {
-			return fmt.Errorf("core: id %d appears twice", nd.id)
+		if seen[id] {
+			return fmt.Errorf("core: id %d appears twice", id)
 		}
-		seen[nd.id] = true
+		seen[id] = true
 		count++
-		if t.byID[nd.id] != nd {
-			return fmt.Errorf("core: byID[%d] does not point at the node in the tree", nd.id)
-		}
-		iv := t.idValue(nd.id)
+		iv := t.idValue(id)
 		if iv <= lo || iv > hi {
-			return fmt.Errorf("core: node %d outside its slot interval", nd.id)
+			return fmt.Errorf("core: node %d outside its slot interval", id)
 		}
-		if len(nd.thresholds) != t.k-1 {
-			return fmt.Errorf("core: node %d has %d routing elements, want exactly %d", nd.id, len(nd.thresholds), t.k-1)
-		}
-		if len(nd.children) != len(nd.thresholds)+1 {
-			return fmt.Errorf("core: node %d has %d thresholds but %d child slots", nd.id, len(nd.thresholds), len(nd.children))
-		}
+		sp := t.span(ix)
 		prev := lo
-		for _, th := range nd.thresholds {
+		for i := 1; i < len(sp); i += 2 {
+			th := int(sp[i])
 			if th <= prev {
-				return fmt.Errorf("core: node %d routing elements not strictly increasing inside its interval", nd.id)
+				return fmt.Errorf("core: node %d routing elements not strictly increasing inside its interval", id)
 			}
 			if th > hi {
-				return fmt.Errorf("core: node %d routing element exceeds its interval", nd.id)
+				return fmt.Errorf("core: node %d routing element exceeds its interval", id)
 			}
 			prev = th
 		}
 		slotLo := lo
-		for i, ch := range nd.children {
+		for i := 0; i < len(sp); i += 2 {
 			slotHi := hi
-			if i < len(nd.thresholds) {
-				slotHi = nd.thresholds[i]
+			if i+1 < len(sp) {
+				slotHi = int(sp[i+1])
 			}
-			if ch != nil {
-				if ch.parent != nd {
-					return fmt.Errorf("core: node %d is child of %d but points at a different parent", ch.id, nd.id)
+			if ch := sp[i]; ch != 0 {
+				if t.parent[ch] != ix {
+					return fmt.Errorf("core: node %d is child of %d but points at a different parent", ch, id)
+				}
+				if t.slot[ch] != int32(i/2) {
+					return fmt.Errorf("core: node %d sits in slot %d of %d but its slot cache says %d", ch, i/2, id, t.slot[ch])
 				}
 				if slotLo >= slotHi {
-					return fmt.Errorf("core: node %d has child %d in an empty slot", nd.id, ch.id)
+					return fmt.Errorf("core: node %d has child %d in an empty slot", id, ch)
 				}
 				if err := walk(ch, slotLo, slotHi); err != nil {
 					return err
@@ -95,7 +102,7 @@ func (t *Tree) Validate() error {
 		if err != nil {
 			return err
 		}
-		if got, want := len(path)-1, t.Depth(t.byID[id]); got != want {
+		if got, want := len(path)-1, t.depthIx(int32(id)); got != want {
 			return fmt.Errorf("core: search for %d took %d hops, node depth is %d", id, got, want)
 		}
 	}

@@ -83,7 +83,7 @@ func (c *Ctx) ReplaceTree(fresh *core.Tree) int64 {
 	fresh.SetTrackEdges(p.trackEdges)
 	p.t = fresh
 	c.Tree = fresh
-	p.oracle = nil
+	p.oracleLive = false
 	p.rebuilds++
 	p.churn += churn
 	return churn

@@ -49,10 +49,14 @@ type Net struct {
 	// Static-stretch fast path: after oracleAfter consecutive declined
 	// requests the tree is provably unchanged for a while, so distance
 	// queries go through the O(1) Euler-tour/RMQ oracle instead of
-	// pointer walks. Any adjustment invalidates it.
+	// pointer walks. Any adjustment invalidates it (oracleLive drops to
+	// false), but the oracle object itself is retained: the next stretch
+	// re-indexes it in place (DistIndex.Rebuild), so entering a static
+	// stretch allocates nothing after the first one.
 	streak      int
 	oracleAfter int
 	oracle      *statictree.DistIndex
+	oracleLive  bool
 	batchOnce   sync.Once
 
 	ctx Ctx
@@ -183,7 +187,7 @@ func (p *Net) Serve(u, v int) sim.Cost {
 	switch {
 	case p.t == nil:
 		dist = p.top.Route(u, v, ctx)
-	case p.oracle != nil:
+	case p.oracleLive:
 		dist = p.oracle.Dist(u, v)
 	default:
 		a, b := p.t.NodeByID(u), p.t.NodeByID(v)
@@ -201,8 +205,12 @@ func (p *Net) Serve(u, v int) sim.Cost {
 			p.compactWindow()
 		}
 		p.streak++
-		if p.t != nil && p.oracle == nil && p.streak >= p.oracleAfter {
-			p.oracle = statictree.NewDistIndex(p.t)
+		if p.t != nil && !p.oracleLive && p.streak >= p.oracleAfter {
+			if p.oracle == nil {
+				p.oracle = new(statictree.DistIndex)
+			}
+			p.oracle.Rebuild(p.t)
+			p.oracleLive = true
 		}
 		return cost
 	}
@@ -236,11 +244,12 @@ func (p *Net) compactWindow() {
 
 // afterAdjust starts a fresh measurement stretch: trigger state, request
 // window and its compacted aggregate, and the static-stretch oracle all
-// reset.
+// reset. The oracle object is kept for in-place reuse, only its liveness
+// drops.
 func (p *Net) afterAdjust() {
 	p.trig.Reset()
 	p.streak = 0
-	p.oracle = nil
+	p.oracleLive = false
 	if p.needsWindow {
 		p.window = p.window[:0]
 		p.pending = nil
@@ -264,8 +273,12 @@ func (p *Net) ServeBatch(reqs []sim.Request) sim.BatchCost {
 		panic("policy: ServeBatch on a composition that can adjust")
 	}
 	p.batchOnce.Do(func() {
-		if p.oracle == nil {
-			p.oracle = statictree.NewDistIndex(p.t)
+		if !p.oracleLive {
+			if p.oracle == nil {
+				p.oracle = new(statictree.DistIndex)
+			}
+			p.oracle.Rebuild(p.t)
+			p.oracleLive = true
 		}
 	})
 	return p.oracle.ServeBatch(reqs)

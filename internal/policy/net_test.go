@@ -164,7 +164,7 @@ func TestOracleRoutesBitIdentically(t *testing.T) {
 		if ce != cl {
 			t.Fatalf("request %d (%d→%d): oracle path %+v, walk path %+v", i, u, v, ce, cl)
 		}
-		if eager.oracle != nil {
+		if eager.oracleLive {
 			sawOracle = true
 		}
 	}
@@ -206,7 +206,7 @@ func TestFrozenAfterWarmupFreezes(t *testing.T) {
 		t.Error("never adjusted during the warmup prefix")
 	}
 	// The frozen stretch is long, so the oracle must have kicked in.
-	if net.oracle == nil {
+	if !net.oracleLive {
 		t.Error("frozen stretch did not engage the distance oracle")
 	}
 	if err := net.Tree().Validate(); err != nil {

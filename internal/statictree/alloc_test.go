@@ -1,0 +1,48 @@
+package statictree
+
+import (
+	"testing"
+
+	"github.com/ksan-net/ksan/internal/core"
+)
+
+// TestDistIndexRebuildZeroAllocs pins the oracle-reuse contract that lets
+// policy.Net keep one DistIndex alive across static stretches: after the
+// first build, re-indexing over a same-size topology — whether the same
+// tree after rotations or an entirely different tree, the lazy net's
+// swap pattern — reuses every backing array and allocates nothing.
+func TestDistIndexRebuildZeroAllocs(t *testing.T) {
+	t1, err := core.NewBalanced(511, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := NewDistIndex(t1)
+
+	// Same tree, mutated between rebuilds (a splay-family stretch).
+	if avg := testing.AllocsPerRun(100, func() {
+		t1.SplayUntilParent(t1.NodeByID(300), nil)
+		ix.Rebuild(t1)
+	}); avg != 0 {
+		t.Errorf("Rebuild over a mutated same tree: %.2f allocs, want 0", avg)
+	}
+
+	// A different same-size tree (the lazy net's rebuild swap).
+	t2, err := core.NewRandom(511, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(100, func() { ix.Rebuild(t2) }); avg != 0 {
+		t.Errorf("Rebuild over a swapped tree: %.2f allocs, want 0", avg)
+	}
+
+	// Reuse must not corrupt answers: the re-indexed oracle agrees with
+	// the tree's own pointer walks.
+	ix.Rebuild(t2)
+	for u := 1; u <= 511; u += 37 {
+		for v := 1; v <= 511; v += 53 {
+			if got, want := ix.Dist(u, v), int64(t2.DistanceID(u, v)); got != want {
+				t.Fatalf("Dist(%d,%d) after reuse = %d, tree walk says %d", u, v, got, want)
+			}
+		}
+	}
+}

@@ -25,43 +25,60 @@ type DistIndex struct {
 
 // NewDistIndex builds the oracle from a tree rooted at t.Root().
 func NewDistIndex(t *core.Tree) *DistIndex {
+	ix := &DistIndex{}
+	ix.Rebuild(t)
+	return ix
+}
+
+// Rebuild re-indexes the oracle over the tree's current topology, reusing
+// every backing array the previous build left behind. Rebuilding over a
+// same-size tree allocates nothing — which is what lets a self-adjusting
+// net keep one oracle alive across static stretches instead of paying an
+// O(n log n) allocation burst each time a stretch begins (policy.Net does
+// exactly that). The zero value of DistIndex is a valid Rebuild target.
+func (ix *DistIndex) Rebuild(t *core.Tree) {
 	n := t.N()
-	ix := &DistIndex{
-		depth: make([]int32, n+1),
-		first: make([]int32, n+1),
-		euler: make([]int32, 0, 2*n-1),
+	ix.depth = growRow(ix.depth, n+1)
+	ix.first = growRow(ix.first, n+1)
+	if cap(ix.euler) < 2*n-1 {
+		ix.euler = make([]int32, 0, 2*n-1)
 	}
-	var tour func(nd *core.Node, depth int32)
-	tour = func(nd *core.Node, depth int32) {
-		id := int32(nd.ID())
-		ix.first[id] = int32(len(ix.euler))
-		ix.depth[id] = depth
-		ix.euler = append(ix.euler, id)
-		for i := 0; i < nd.NumSlots(); i++ {
-			if c := nd.Child(i); c != nil {
-				tour(c, depth+1)
-				ix.euler = append(ix.euler, id)
-			}
+	ix.euler = ix.euler[:0]
+	ix.tour(t.Root(), 0)
+	ix.buildRMQ()
+}
+
+// tour is a named method rather than a closure so that recursive rebuilds
+// stay allocation-free (a recursive closure forces its own heap funcval).
+func (ix *DistIndex) tour(nd *core.Node, depth int32) {
+	id := int32(nd.ID())
+	ix.first[id] = int32(len(ix.euler))
+	ix.depth[id] = depth
+	ix.euler = append(ix.euler, id)
+	for i := 0; i < nd.NumSlots(); i++ {
+		if c := nd.Child(i); c != nil {
+			ix.tour(c, depth+1)
+			ix.euler = append(ix.euler, id)
 		}
 	}
-	tour(t.Root(), 0)
-	ix.buildRMQ()
-	return ix
 }
 
 func (ix *DistIndex) buildRMQ() {
 	m := len(ix.euler)
 	levels := bits.Len(uint(m))
-	ix.table = make([][]int32, levels)
-	base := make([]int32, m)
+	if cap(ix.table) < levels {
+		ix.table = make([][]int32, levels)
+	}
+	ix.table = ix.table[:cap(ix.table)][:levels]
+	base := growRow(ix.table[0], m)
+	ix.table[0] = base
 	for i := range base {
 		base[i] = int32(i)
 	}
-	ix.table[0] = base
 	for j := 1; j < levels; j++ {
 		width := 1 << j
 		prev := ix.table[j-1]
-		row := make([]int32, m-width+1)
+		row := growRow(ix.table[j], m-width+1)
 		for i := range row {
 			a, b := prev[i], prev[i+width/2]
 			if ix.tourDepth(a) <= ix.tourDepth(b) {
@@ -72,6 +89,15 @@ func (ix *DistIndex) buildRMQ() {
 		}
 		ix.table[j] = row
 	}
+}
+
+// growRow resizes a reusable row to exactly n entries, reallocating only
+// when the old capacity is insufficient. Contents are unspecified.
+func growRow(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
 }
 
 func (ix *DistIndex) tourDepth(pos int32) int32 { return ix.depth[ix.euler[pos]] }

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_PR6.json, the machine-readable perf baseline of the
+# arena-tree PR: the sequential serve paths (where the index-based
+# structure-of-arrays storage and the specialized interleaved-span
+# rebuilds land), the BenchmarkPolicyServe trigger×adjuster grid (where
+# the reusable static-stretch oracle shows up on the deferred
+# compositions), the DP solver grid (whose working set shrinks with the
+# arena Build), and the policy churn microbenchmarks. Schema
+# ksan-bench/v1, produced by cmd/benchjson.
+#
+# Unlike its predecessors this baseline is enforced, not advisory: CI
+# regenerates a candidate at a fixed iteration count and gates it with
+# cmd/benchdiff (allocation and bytes contracts cross-machine; ns/op is
+# only meaningful when diffing two runs of this script on one machine).
+#
+# Usage: scripts/bench_pr6.sh [output.json]
+#   BENCHTIME=1x scripts/bench_pr6.sh /tmp/check.json      # CI schema check
+#   BENCHTIME=1000x SOLVER_BENCHTIME=1x scripts/bench_pr6.sh /tmp/cand.json
+#     # CI benchdiff candidate: serve paths warm at 1000 iterations, the
+#     # expensive DP grid at one (its per-op allocations don't amortize).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR6.json}"
+benchtime="${BENCHTIME:-1s}"
+solver_benchtime="${SOLVER_BENCHTIME:-$benchtime}"
+count="${COUNT:-1}" # serve-path repeats; benchjson keeps each benchmark's min
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+run() { # run <package> <bench regex> <benchtime> <count>
+  go test -run '^$' -bench "$2" -benchmem -benchtime "$3" -count "$4" "$1" >>"$tmp"
+}
+
+# The sequential serve paths and the policy plane over them.
+run . 'BenchmarkPolicyServe|BenchmarkServeKAryTemporal$|BenchmarkServeCentroidTemporal$|BenchmarkServeSplayNetTemporal$' "$benchtime" "$count"
+# The sort-based link churn against its map-based reference.
+run ./internal/policy 'BenchmarkLinkChurn' "$benchtime" "$count"
+# The DP solver grid and the shared-scratch sweep (arena Build shrinks
+# both working sets).
+run ./internal/statictree 'BenchmarkOptimal$|BenchmarkSolverSweep' "$solver_benchtime" 1
+
+go run ./cmd/benchjson <"$tmp" >"$out"
+echo "bench_pr6: wrote $out ($(grep -c '"ns_per_op"' "$out") benchmarks at -benchtime=$benchtime, solver at $solver_benchtime)" >&2
