@@ -48,9 +48,13 @@ func runExperiment(ctx context.Context, path, format string, workers int, progre
 		// Mid-cell updates from the engine (window boundaries, or every
 		// 2048 requests without a window); completion lines come from the
 		// stream consumer below, so events at Requests == Total stay quiet
-		// here to avoid duplicates.
+		// here to avoid duplicates. Streams of unknown length (csv traces)
+		// report Total < 0 and stay live until the completion line.
 		opts = append(opts, engine.WithProgress(func(p engine.Progress) {
-			if p.Requests < p.Total {
+			if p.Total < 0 {
+				fmt.Fprintf(os.Stderr, "[%8s] %s on %s: %d requests\n",
+					time.Since(start).Round(time.Millisecond), p.Network, p.Trace, p.Requests)
+			} else if p.Requests < p.Total {
 				fmt.Fprintf(os.Stderr, "[%8s] %s on %s: %d/%d requests\n",
 					time.Since(start).Round(time.Millisecond), p.Network, p.Trace, p.Requests, p.Total)
 			}

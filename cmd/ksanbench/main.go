@@ -209,6 +209,11 @@ func runOnly(ctx context.Context, sc experiments.Scale, opt experiments.Options,
 			return err
 		}
 		fmt.Println(a5.Render())
+		a6, err := experiments.AblationReconvergenceCtx(ctx, opt.Workers, sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(a6.Render())
 		opt.Report("ablations done")
 	}
 	return ctx.Err()

@@ -1,10 +1,14 @@
 // Command ksantrace generates and inspects communication traces in the
-// CSV format shared by the library and the benchmark harness.
+// CSV format shared by the library and the benchmark harness. Generation
+// and measurement both stream: requests flow generator→CSV and CSV→stats
+// one at a time, so trace length is bounded by disk, not memory.
 //
 // Usage:
 //
-//	ksantrace gen -kind uniform|temporal|hpc|projector|facebook|zipf \
-//	              -n 100 -m 100000 [-p 0.75] [-s 1.1] [-seed 1] [-out trace.csv]
+//	ksantrace gen -kind uniform|temporal|hpc|projector|facebook|zipf|
+//	              hotspot|exponential|latest|sequential|histogram \
+//	              -n 100 -m 100000 [-p 0.75] [-s 1.1] [-hot 0.1] [-hotopn 0.9] \
+//	              [-weights file] [-seed 1] [-out trace.csv]
 //	ksantrace stats -in trace.csv
 package main
 
@@ -38,31 +42,65 @@ func usage() {
 
 func gen(args []string) {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
-	kind := fs.String("kind", "uniform", "workload kind: uniform, temporal, hpc, projector, facebook, zipf")
+	kind := fs.String("kind", "uniform", "workload kind: uniform, temporal, hpc, projector, facebook, zipf, hotspot, exponential, latest, sequential, histogram")
 	n := fs.Int("n", 100, "number of network nodes")
 	m := fs.Int("m", 100000, "number of requests")
 	p := fs.Float64("p", 0.5, "temporal complexity parameter (temporal only)")
-	s := fs.Float64("s", 1.1, "Zipf exponent (zipf only)")
+	s := fs.Float64("s", 1.1, "skew parameter (zipf/latest exponent, exponential decay)")
+	hot := fs.Float64("hot", 0.1, "hot-set node fraction (hotspot only)")
+	hotOpn := fs.Float64("hotopn", 0.9, "hot-set traffic fraction (hotspot only)")
+	weights := fs.String("weights", "", "node popularity file, one weight per line (histogram only; node count comes from the file)")
 	seed := fs.Int64("seed", 1, "generator seed")
 	out := fs.String("out", "", "output file (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
 
-	var tr workload.Trace
+	var g workload.Generator
 	switch *kind {
 	case "uniform":
-		tr = workload.Uniform(*n, *m, *seed)
+		g = workload.UniformGen(*n, *m, *seed)
 	case "temporal":
-		tr = workload.Temporal(*n, *m, *p, *seed)
+		g = workload.TemporalGen(*n, *m, *p, *seed)
 	case "hpc":
-		tr = workload.HPCLike(*n, *m, *seed)
+		g = workload.HPCGen(*n, *m, *seed)
 	case "projector":
-		tr = workload.ProjecToRLike(*n, *m, *seed)
+		g = workload.ProjectorGen(*n, *m, *seed)
 	case "facebook":
-		tr = workload.FacebookLike(*n, *m, *seed)
+		g = workload.FacebookGen(*n, *m, *seed)
 	case "zipf":
-		tr = workload.Zipf(*n, *m, *s, *seed)
+		g = workload.ZipfGen(*n, *m, *s, *seed)
+	case "hotspot":
+		g = workload.HotspotGen(*n, *m, *hot, *hotOpn, *seed)
+	case "exponential":
+		g = workload.ExponentialGen(*n, *m, *s, *seed)
+	case "latest":
+		g = workload.LatestGen(*n, *m, *s, *seed)
+	case "sequential":
+		g = workload.SequentialGen(*n, *m)
+	case "histogram":
+		if *weights == "" {
+			fmt.Fprintln(os.Stderr, "ksantrace: -kind histogram requires -weights")
+			os.Exit(2)
+		}
+		f, err := os.Open(*weights)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ws, err := workload.ReadWeights(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		// n comes from the weights file (one node per line), same as the
+		// experiment-JSON histogram kind; -n is ignored here.
+		g, err = workload.HistogramGen(len(ws), *m, ws, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "ksantrace: unknown kind %q\n", *kind)
 		os.Exit(2)
@@ -78,7 +116,7 @@ func gen(args []string) {
 		defer f.Close()
 		w = f
 	}
-	if err := workload.WriteCSV(w, tr); err != nil {
+	if err := workload.WriteCSVFrom(w, g); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -90,24 +128,36 @@ func stats(args []string) {
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
-	var r io.Reader = os.Stdin
+	// A file input streams (two passes over the file, no materialized
+	// trace); stdin cannot be re-read, so it falls back to materializing.
+	var g workload.Generator
 	if *in != "" {
-		f, err := os.Open(*in)
+		cg, err := workload.OpenCSV(*in)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		r = f
+		g = cg
+	} else {
+		tr, err := workload.ReadCSV(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		g = tr
 	}
-	tr, err := workload.ReadCSV(r)
+	st, err := workload.MeasureStream(g)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	st := workload.Measure(tr)
-	fmt.Printf("trace          %s\n", tr.Name)
-	fmt.Printf("nodes          %d\n", tr.N)
+	bound, err := workload.EntropyBoundStream(g)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("trace          %s\n", g.Label())
+	fmt.Printf("nodes          %d\n", g.Nodes())
 	fmt.Printf("requests       %d\n", st.Requests)
 	fmt.Printf("distinct pairs %d\n", st.DistinctPairs)
 	fmt.Printf("repeat frac    %.4f\n", st.RepeatFraction)
@@ -115,5 +165,5 @@ func stats(args []string) {
 	fmt.Printf("dst entropy    %.3f bits\n", st.DstEntropy)
 	fmt.Printf("pair entropy   %.3f bits\n", st.PairEntropy)
 	fmt.Printf("top-8 share    %.4f\n", st.Top8PairShare)
-	fmt.Printf("Thm13 bound    %.0f\n", workload.EntropyBound(tr))
+	fmt.Printf("Thm13 bound    %.0f\n", bound)
 }

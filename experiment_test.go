@@ -33,6 +33,17 @@ func goldenExperiment() *Experiment {
 			{Kind: "temporal", N: 127, M: 20000, P: 0.75, Seed: 42},
 			{Kind: "uniform", N: 127, M: 20000, Seed: 1},
 			{Kind: "zipf", N: 127, M: 20000, S: 1.2, Seed: 7},
+			// The YCSB-style hotspot kind: 10% of the nodes draw 90% of the
+			// endpoint traffic.
+			{Kind: "hotspot", N: 127, M: 20000, Hot: 0.1, HotOpn: 0.9, Seed: 9},
+			// A phased drifting scenario declared entirely in data: uniform
+			// background, a flash crowd concentrating on a 5% hot set, then
+			// back to uniform.
+			{Kind: "phased", Name: "flash-crowd", Phases: []TraceDef{
+				{Kind: "uniform", N: 127, M: 8000, Seed: 1},
+				{Kind: "hotspot", N: 127, M: 4000, Hot: 0.05, HotOpn: 0.95, Seed: 9},
+				{Kind: "uniform", N: 127, M: 8000, Seed: 2},
+			}},
 		},
 		Engine: EngineDef{Window: 5000},
 	}
@@ -183,7 +194,7 @@ func TestPublicKindListings(t *testing.T) {
 			t.Errorf("network kinds %v missing %q", nk, want)
 		}
 	}
-	for _, want := range []string{"uniform", "temporal", "csv"} {
+	for _, want := range []string{"uniform", "temporal", "csv", "hotspot", "exponential", "latest", "sequential", "histogram", "phased"} {
 		found := false
 		for _, k := range tk {
 			if k == want {

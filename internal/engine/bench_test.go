@@ -96,3 +96,35 @@ func BenchmarkStaticGridSharded(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRunGenStream serves a generator's stream without ever
+// materializing it — the tentpole path of the streaming pipeline — on
+// both engine paths. Compare against the StaticTrace benchmarks above to
+// see what pulling from the stream costs over iterating a slice.
+func BenchmarkRunGenStream(b *testing.B) {
+	gen := workload.UniformGen(1023, 200_000, 1)
+	b.Run("sequential", func(b *testing.B) {
+		net, _ := benchTrace(b)
+		eng := New()
+		wrapped := &serveOnly{net: net}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.RunGen(context.Background(), wrapped, gen); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		net, rs := benchTrace(b)
+		eng := New(WithWorkers(runtime.GOMAXPROCS(0)))
+		net.ServeBatch(rs[:1]) // build the oracle outside the timed region
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.RunGen(context.Background(), net, gen); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -19,12 +19,15 @@ package engine
 
 import (
 	"context"
+	"fmt"
+	"iter"
 	"runtime"
 	"sync"
 	"time"
 
 	"github.com/ksan-net/ksan/internal/core"
 	"github.com/ksan-net/ksan/internal/sim"
+	"github.com/ksan-net/ksan/internal/workload"
 )
 
 // ChurnReporter is an optional Network extension for designs that account
@@ -101,8 +104,10 @@ func WithProgress(fn func(Progress)) Option {
 }
 
 // WithValidation toggles trace validation (on by default): runs reject
-// traces whose endpoints fall outside 1..net.N() with an error instead of
-// panicking deep inside a network.
+// requests whose endpoints fall outside 1..net.N() with an error instead of
+// panicking deep inside a network. Validation is inline — each request is
+// checked as it is drawn from the stream, so a run ends at the first bad
+// request with the contiguous prefix before it measured and reported.
 func WithValidation(on bool) Option {
 	return func(e *Engine) { e.validate = on }
 }
@@ -133,26 +138,34 @@ func New(opts ...Option) *Engine {
 // same limit.
 func (e *Engine) Workers() int { return e.workers }
 
-// Run serves the trace on the network and returns the extended result. It
-// honors ctx: on cancellation it returns the partial result accumulated so
-// far together with ctx.Err(). Networks implementing sim.BatchServer are
-// evaluated through the batch path (sharded across the worker pool when
-// workers > 1); everything else is served strictly sequentially.
+// Run serves the materialized trace on the network and returns the
+// extended result; it is RunGen on the trivial (already-materialized)
+// generator. It honors ctx: on cancellation it returns the partial result
+// accumulated so far together with ctx.Err().
 func (e *Engine) Run(ctx context.Context, net sim.Network, reqs []sim.Request) (Result, error) {
-	return e.runOne(ctx, net, reqs, "", nil, e.workers)
+	return e.runOne(ctx, net, workload.Trace{N: net.N(), Reqs: reqs}, "", nil, e.workers)
 }
 
-// runOne is Run plus the grid bookkeeping (trace label, cell-progress
+// RunGen serves a generator's request stream on the network and returns
+// the extended result. The trace is never materialized: warmup, windows,
+// progress, cancellation checkpoints and per-request validation are all
+// driven off the stream, so trace length is not memory-bound. It honors
+// ctx: on cancellation it returns the partial result accumulated so far
+// together with ctx.Err(); a stream error (bad CSV row, under-run phase)
+// or an out-of-range request likewise ends the run with the contiguous
+// prefix measured. Networks implementing sim.BatchServer are evaluated
+// through the batch path (chunk waves sharded across the worker pool when
+// workers > 1); everything else is served strictly sequentially.
+func (e *Engine) RunGen(ctx context.Context, net sim.Network, gen workload.Generator) (Result, error) {
+	return e.runOne(ctx, net, gen, "", nil, e.workers)
+}
+
+// runOne is RunGen plus the grid bookkeeping (trace label, cell-progress
 // decoration) and an explicit shard bound: grid cells already occupy the
 // worker pool, so they pass shardWorkers=1 to keep total concurrency at
 // the configured bound instead of workers².
-func (e *Engine) runOne(ctx context.Context, net sim.Network, reqs []sim.Request, traceName string, decorate func(*Progress), shardWorkers int) (Result, error) {
+func (e *Engine) runOne(ctx context.Context, net sim.Network, gen workload.Generator, traceName string, decorate func(*Progress), shardWorkers int) (Result, error) {
 	res := Result{Result: sim.Result{Name: net.Name()}, Trace: traceName}
-	if e.validate {
-		if err := sim.Validate(reqs, net.N()); err != nil {
-			return res, err
-		}
-	}
 
 	// Unified churn accounting: first switch rotation-level edge tracking
 	// on (through the network's own toggle when it has one, so the
@@ -180,13 +193,14 @@ func (e *Engine) runOne(ctx context.Context, net sim.Network, reqs []sim.Request
 		}
 	}
 
+	total := gen.Len() // workload.UnknownLen for file-backed streams
 	emit := func(p Progress) {
 		if e.progress == nil {
 			return
 		}
 		p.Network = res.Name
 		p.Trace = traceName
-		p.Total = len(reqs)
+		p.Total = total
 		if decorate != nil {
 			decorate(&p)
 		}
@@ -197,8 +211,8 @@ func (e *Engine) runOne(ctx context.Context, net sim.Network, reqs []sim.Request
 
 	start := time.Now()
 	warm := e.warmup
-	if warm > len(reqs) {
-		warm = len(reqs)
+	if total >= 0 && warm > total {
+		warm = total
 	}
 	var hist []int64
 	var err error
@@ -209,9 +223,9 @@ func (e *Engine) runOne(ctx context.Context, net sim.Network, reqs []sim.Request
 		}
 	}
 	if batch {
-		hist, err = e.runBatch(ctx, bs, reqs, warm, &res, emit, shardWorkers)
+		hist, err = e.runBatch(ctx, bs, gen, net.N(), warm, &res, emit, shardWorkers)
 	} else {
-		hist, err = e.runSequential(ctx, net, reqs, warm, &res, emit)
+		hist, err = e.runSequential(ctx, net, gen, warm, &res, emit)
 	}
 	res.Elapsed = time.Since(start)
 	if secs := res.Elapsed.Seconds(); secs > 0 {
@@ -229,10 +243,10 @@ func (e *Engine) runOne(ctx context.Context, net sim.Network, reqs []sim.Request
 	return res, err
 }
 
-// runSequential serves requests one by one, in order, on a single
-// goroutine: the only sound schedule for self-adjusting networks, whose
-// topology after request t is the input to request t+1. Cancellation is
-// checked at window boundaries and every checkEvery requests; when no
+// runSequential serves the stream one request at a time, in order, on a
+// single goroutine: the only sound schedule for self-adjusting networks,
+// whose topology after request t is the input to request t+1. Cancellation
+// is checked at window boundaries and every checkEvery requests; when no
 // time-series window is configured the same checkpoints emit progress,
 // plus one completion event after the last request, so a progress
 // callback fires mid-trace and at the end even for traces shorter than
@@ -240,13 +254,18 @@ func (e *Engine) runOne(ctx context.Context, net sim.Network, reqs []sim.Request
 // — progress used to stay silent for the whole trace). With a window,
 // flush already emits at every boundary including the final partial
 // window, and the checkpoints stay quiet to avoid a duplicate stream.
-func (e *Engine) runSequential(ctx context.Context, net sim.Network, reqs []sim.Request, warm int, res *Result, emit func(Progress)) ([]int64, error) {
+//
+// A stream error or (with validation on) an out-of-range request ends the
+// run like cancellation does: partial window flushed, contiguous prefix
+// measured, the error returned.
+func (e *Engine) runSequential(ctx context.Context, net sim.Network, gen workload.Generator, warm int, res *Result, emit func(Progress)) ([]int64, error) {
 	const checkEvery = 2048
+	n := net.N()
 	var hist []int64
 	wStart := 0
 	var wRouting, wAdjust int64
 	flush := func(end int) {
-		if e.window <= 0 || end == wStart {
+		if e.window <= 0 || end <= wStart {
 			return
 		}
 		res.Series = append(res.Series, WindowSample{Start: wStart, End: end, Routing: wRouting, Adjust: wAdjust})
@@ -254,20 +273,33 @@ func (e *Engine) runSequential(ctx context.Context, net sim.Network, reqs []sim.
 		wStart = end
 		wRouting, wAdjust = 0, 0
 	}
-	for i, rq := range reqs {
+	// fail ends the run at request index i without serving it.
+	fail := func(i int, err error) ([]int64, error) {
+		if m := i - warm; m > 0 {
+			flush(m)
+		}
+		return hist, err
+	}
+	i := 0
+	for rq, rerr := range gen.Requests() {
+		if rerr != nil {
+			return fail(i, rerr)
+		}
 		if i%checkEvery == 0 {
 			if ctx.Err() != nil {
-				if m := i - warm; m > 0 {
-					flush(m)
-				}
-				return hist, ctx.Err()
+				return fail(i, ctx.Err())
 			}
 			if i > 0 && e.window <= 0 {
 				emit(Progress{Requests: i})
 			}
 		}
+		if e.validate {
+			if err := validateReq(rq, i, n); err != nil {
+				return fail(i, err)
+			}
+		}
 		c := net.Serve(rq.Src, rq.Dst)
-		if i < warm {
+		if i++; i <= warm {
 			res.WarmupRequests++
 			res.WarmupRouting += c.Routing
 			res.WarmupAdjust += c.Adjust
@@ -280,84 +312,162 @@ func (e *Engine) runSequential(ctx context.Context, net sim.Network, reqs []sim.
 		if e.window > 0 {
 			wRouting += c.Routing
 			wAdjust += c.Adjust
-			if m := i - warm + 1; m-wStart == e.window {
+			if m := i - warm; m-wStart == e.window {
 				flush(m)
 			}
 		}
 	}
-	flush(len(reqs) - warm)
-	if e.window <= 0 && len(reqs) > 0 {
-		emit(Progress{Requests: len(reqs)})
+	flush(i - warm)
+	if e.window <= 0 && i > 0 {
+		emit(Progress{Requests: i})
 	}
 	return hist, nil
 }
 
-// runBatch evaluates a batch-capable (static) network: the warmup prefix
-// and then the measured region, the latter cut into chunks — window-sized
-// when a time-series is requested, load-balancing-sized otherwise — that
-// the worker pool serves concurrently and merges back in order. Workers
-// emit progress as their chunks complete (cumulative served count, made
-// monotone by taking the counter update and the emit under one lock); the
-// post-barrier merge loop used to be the only emitter, so batch runs
-// reported nothing until every shard had finished.
-func (e *Engine) runBatch(ctx context.Context, bs sim.BatchServer, reqs []sim.Request, warm int, res *Result, emit func(Progress), shardWorkers int) ([]int64, error) {
-	if warm > 0 {
-		bc := bs.ServeBatch(reqs[:warm])
-		res.WarmupRequests = int64(warm)
-		res.WarmupRouting = bc.Routing
-		res.WarmupAdjust = bc.Adjust
+// validateReq is the inline form of sim.Validate: one request checked as
+// it is drawn from the stream.
+func validateReq(rq sim.Request, i, n int) error {
+	if rq.Src < 1 || rq.Src > n || rq.Dst < 1 || rq.Dst > n {
+		return fmt.Errorf("engine: request %d (%d→%d) outside 1..%d", i, rq.Src, rq.Dst, n)
 	}
-	measured := reqs[warm:]
-	if len(measured) == 0 {
-		return nil, ctx.Err()
-	}
+	return nil
+}
+
+// runBatch evaluates a batch-capable (static) network against the stream:
+// the warmup prefix first, then the measured region in waves — up to
+// shardWorkers chunks are drawn from the stream (window-sized when a
+// time-series is requested, load-balancing-sized otherwise), served
+// concurrently on the worker pool, and merged back in order before the
+// next wave is drawn. Peak memory is shardWorkers×chunk requests (the
+// buffers are reused across waves), never the trace; and because integer
+// cost merging is associative and chunk boundaries coincide with window
+// boundaries whenever a window is configured, the result is bit-identical
+// to the former whole-slice sharding. Workers emit progress as their
+// chunks complete (cumulative served count, made monotone by taking the
+// counter update and the emit under one lock).
+func (e *Engine) runBatch(ctx context.Context, bs sim.BatchServer, gen workload.Generator, n, warm int, res *Result, emit func(Progress), shardWorkers int) ([]int64, error) {
 	if shardWorkers < 1 {
 		shardWorkers = 1
 	}
+	next, stop := iter.Pull2(gen.Requests())
+	defer stop()
+
+	// read fills buf with up to max validated requests, advancing the
+	// global request index; it returns the stream's error, if any, after
+	// the requests that precede it.
+	idx := 0
+	read := func(buf []sim.Request, max int) ([]sim.Request, error) {
+		for len(buf) < max {
+			rq, rerr, ok := next()
+			if !ok {
+				return buf, nil
+			}
+			if rerr != nil {
+				return buf, rerr
+			}
+			if e.validate {
+				if err := validateReq(rq, idx, n); err != nil {
+					return buf, err
+				}
+			}
+			idx++
+			buf = append(buf, rq)
+		}
+		return buf, nil
+	}
+
+	if warm > 0 {
+		wbuf, rerr := read(make([]sim.Request, 0, warm), warm)
+		if len(wbuf) > 0 {
+			bc := bs.ServeBatch(wbuf)
+			res.WarmupRequests = int64(len(wbuf))
+			res.WarmupRouting = bc.Routing
+			res.WarmupAdjust = bc.Adjust
+		}
+		if rerr != nil {
+			return nil, rerr
+		}
+		warm = len(wbuf)
+	}
+
 	chunk := e.window
 	if chunk <= 0 {
-		chunk = (len(measured) + shardWorkers*4 - 1) / (shardWorkers * 4)
+		if total := gen.Len(); total >= 0 {
+			chunk = (total - warm + shardWorkers*4 - 1) / (shardWorkers * 4)
+		} else {
+			chunk = 8192 // unknown-length stream: fixed wave granularity
+		}
 		if chunk < 1 {
 			chunk = 1
 		}
 	}
-	nchunks := (len(measured) + chunk - 1) / chunk
-	costs := make([]sim.BatchCost, nchunks)
-	done := make([]bool, nchunks)
+
+	bufs := make([][]sim.Request, shardWorkers)
+	costs := make([]sim.BatchCost, shardWorkers)
+	done := make([]bool, shardWorkers)
 	var pmu sync.Mutex
 	var completed int
-	perr := ParallelFor(ctx, shardWorkers, nchunks, func(i int) error {
-		lo := i * chunk
-		hi := lo + chunk
-		if hi > len(measured) {
-			hi = len(measured)
-		}
-		costs[i] = bs.ServeBatch(measured[lo:hi])
-		done[i] = true
-		if e.progress != nil {
-			pmu.Lock()
-			completed += hi - lo
-			emit(Progress{Requests: warm + completed})
-			pmu.Unlock()
-		}
-		return nil
-	})
-	// Merge the completed prefix in order, so a cancelled run still
-	// reports a contiguous, well-ordered partial result.
 	var total sim.BatchCost
-	for i := 0; i < nchunks && done[i]; i++ {
-		lo := i * chunk
-		hi := lo + chunk
-		if hi > len(measured) {
-			hi = len(measured)
+	measured := 0 // absolute measured index of the current wave's start
+	for {
+		if err := ctx.Err(); err != nil {
+			res.Routing = total.Routing
+			res.Adjust = total.Adjust
+			return total.Hist, err
 		}
-		res.Requests += int64(hi - lo)
-		if e.window > 0 {
-			res.Series = append(res.Series, WindowSample{Start: lo, End: hi, Routing: costs[i].Routing, Adjust: costs[i].Adjust})
+		// Draw the wave: up to shardWorkers chunks from the stream.
+		filled, exhausted := 0, false
+		var streamErr error
+		for filled < shardWorkers && !exhausted && streamErr == nil {
+			if bufs[filled] == nil {
+				bufs[filled] = make([]sim.Request, 0, chunk)
+			}
+			bufs[filled], streamErr = read(bufs[filled][:0], chunk)
+			if len(bufs[filled]) == 0 {
+				break
+			}
+			exhausted = len(bufs[filled]) < chunk
+			filled++
 		}
-		total.Merge(costs[i])
+		var perr error
+		if filled > 0 {
+			for i := range done[:filled] {
+				done[i] = false
+			}
+			perr = ParallelFor(ctx, shardWorkers, filled, func(i int) error {
+				costs[i] = bs.ServeBatch(bufs[i])
+				done[i] = true
+				if e.progress != nil {
+					pmu.Lock()
+					completed += len(bufs[i])
+					emit(Progress{Requests: warm + completed})
+					pmu.Unlock()
+				}
+				return nil
+			})
+			// Merge the completed prefix in order, so a cancelled run
+			// still reports a contiguous, well-ordered partial result.
+			for i := 0; i < filled && done[i]; i++ {
+				res.Requests += int64(len(bufs[i]))
+				if e.window > 0 {
+					res.Series = append(res.Series, WindowSample{
+						Start: measured + i*chunk, End: measured + i*chunk + len(bufs[i]),
+						Routing: costs[i].Routing, Adjust: costs[i].Adjust,
+					})
+				}
+				total.Merge(costs[i])
+			}
+			measured = int(res.Requests)
+		}
+		res.Routing = total.Routing
+		res.Adjust = total.Adjust
+		switch {
+		case streamErr != nil:
+			return total.Hist, streamErr
+		case perr != nil:
+			return total.Hist, perr
+		case exhausted || filled == 0:
+			return total.Hist, ctx.Err()
+		}
 	}
-	res.Routing = total.Routing
-	res.Adjust = total.Adjust
-	return total.Hist, perr
 }

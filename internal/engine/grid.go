@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"github.com/ksan-net/ksan/internal/sim"
+	"github.com/ksan-net/ksan/internal/workload"
 )
 
 // NetworkSpec declares one network design of a grid. Make constructs a
@@ -18,12 +19,50 @@ type NetworkSpec struct {
 	Make func(n int) sim.Network
 }
 
-// TraceSpec declares one trace of a grid: a request sequence over nodes
-// 1..N. N sizes the networks built for this trace's cells.
+// TraceSpec declares one trace of a grid: a request stream over nodes
+// 1..N (Nodes() sizes the networks built for this trace's cells).
+//
+// The streaming form sets Gen — one Generator shared by every cell, each
+// of which takes its own independent pass (the Generator contract makes
+// that sound), so a grid holds one factory per trace instead of one
+// materialized request slice per cell. The materialized form sets N and
+// Reqs (Gen nil), which Generator() wraps as the trivial workload.Trace
+// stream. Name labels results; when it is empty the generator's own Label
+// is used.
 type TraceSpec struct {
 	Name string
 	N    int
 	Reqs []sim.Request
+	Gen  workload.Generator
+}
+
+// TraceSpecFor adapts a Generator to a grid TraceSpec.
+func TraceSpecFor(g workload.Generator) TraceSpec {
+	return TraceSpec{Name: g.Label(), N: g.Nodes(), Gen: g}
+}
+
+// Generator returns the trace's request stream.
+func (t TraceSpec) Generator() workload.Generator {
+	if t.Gen != nil {
+		return workload.Relabel(t.Gen, t.Name)
+	}
+	return workload.Trace{Name: t.Name, N: t.N, Reqs: t.Reqs}
+}
+
+// Nodes returns the node count the trace addresses.
+func (t TraceSpec) Nodes() int {
+	if t.Gen != nil {
+		return t.Gen.Nodes()
+	}
+	return t.N
+}
+
+// Label returns the trace's report label.
+func (t TraceSpec) Label() string {
+	if t.Name == "" && t.Gen != nil {
+		return t.Gen.Label()
+	}
+	return t.Name
 }
 
 // FailedNetwork lets a NetworkSpec.Make deliver a construction error

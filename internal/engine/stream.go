@@ -90,14 +90,15 @@ func (e *Engine) Stream(ctx context.Context, networks []NetworkSpec, traces []Tr
 // with cell-count progress decoration and a completion progress event.
 func (e *Engine) runCell(ctx context.Context, spec NetworkSpec, tr TraceSpec, i, j, cells int, cellsDone *atomic.Int64) (Cell, error) {
 	cell := Cell{I: i, J: j}
-	net := spec.Make(tr.N)
+	nodes := tr.Nodes()
+	net := spec.Make(nodes)
 	if net == nil {
-		return cell, fmt.Errorf("engine: network %q returned nil for n=%d", spec.Name, tr.N)
+		return cell, fmt.Errorf("engine: network %q returned nil for n=%d", spec.Name, nodes)
 	}
 	if f, ok := net.(*failedNetwork); ok {
-		return cell, fmt.Errorf("engine: building network %q for n=%d: %w", spec.Name, tr.N, f.err)
+		return cell, fmt.Errorf("engine: building network %q for n=%d: %w", spec.Name, nodes, f.err)
 	}
-	res, err := e.runOne(ctx, net, tr.Reqs, tr.Name, func(p *Progress) {
+	res, err := e.runOne(ctx, net, tr.Generator(), tr.Label(), func(p *Progress) {
 		p.Cells = int(cellsDone.Load())
 		p.CellsTotal = cells
 	}, 1)
@@ -107,10 +108,11 @@ func (e *Engine) runCell(ctx context.Context, spec NetworkSpec, tr TraceSpec, i,
 	}
 	n := cellsDone.Add(1)
 	if e.progress != nil {
+		served := int(res.Requests + res.WarmupRequests)
 		e.mu.Lock()
 		e.progress(Progress{
-			Network: res.Name, Trace: tr.Name,
-			Requests: len(tr.Reqs), Total: len(tr.Reqs),
+			Network: res.Name, Trace: tr.Label(),
+			Requests: served, Total: served,
 			Cells: int(n), CellsTotal: cells,
 		})
 		e.mu.Unlock()

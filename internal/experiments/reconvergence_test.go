@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestAblationReconvergence runs A6 at quick scale and checks the policy
+// compositions actually separate on the drifting trace: every row renders,
+// and the damped lazy net rebuilds less than the bare lazy net (the
+// cooldown binds on the boundary spike).
+func TestAblationReconvergence(t *testing.T) {
+	tbl, err := AblationReconvergenceCtx(context.Background(), 0, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("A6 has %d rows, want 5", len(tbl.Rows))
+	}
+	adjust := map[string]string{}
+	for _, row := range tbl.Rows {
+		if len(row) != 7 {
+			t.Fatalf("A6 row %v has %d cells, want 7", row, len(row))
+		}
+		switch {
+		case strings.Contains(row[0], "(lazy net)"):
+			adjust["lazy"] = row[3]
+		case strings.Contains(row[0], "(damped lazy net)"):
+			adjust["damped"] = row[3]
+		}
+	}
+	if adjust["lazy"] == "" || adjust["damped"] == "" {
+		t.Fatalf("missing lazy rows in %v", tbl.Rows)
+	}
+	if adjust["lazy"] == adjust["damped"] {
+		t.Errorf("cooldown did not bind: lazy and damped nets both spent %s on adjustment", adjust["lazy"])
+	}
+	t.Log("\n" + tbl.Render())
+}

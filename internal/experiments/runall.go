@@ -115,6 +115,11 @@ func RunSuite(ctx context.Context, w io.Writer, sc Scale, opt Options) error {
 		return err
 	}
 	fmt.Fprintln(w, a5.Render())
+	a6, err := AblationReconvergenceCtx(ctx, opt.Workers, sc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, a6.Render())
 	opt.Report("ablations done")
 
 	m := int64(abTr.Len())

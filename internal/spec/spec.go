@@ -100,28 +100,48 @@ type PolicyDef struct {
 	Adjuster string `json:"adjuster"`
 }
 
-// TraceDef declares one workload trace by registered kind. The builtin
-// kinds and the parameters they read (all require N ≥ 2 and M ≥ 1):
+// TraceDef declares one workload request stream by registered kind. The
+// builtin kinds and the parameters they read (all except csv and phased
+// require N ≥ 2 and M ≥ 1):
 //
-//	uniform   — Uniform(N, M, Seed)
-//	temporal  — Temporal(N, M, P, Seed), P in [0,1)
-//	hpc       — HPCLike(N, M, Seed)
-//	projector — ProjecToRLike(N, M, Seed)
-//	facebook  — FacebookLike(N, M, Seed)
-//	zipf      — Zipf(N, M, S, Seed), S > 0
-//	csv       — a trace file written by workload.WriteCSV, read from Path
-//	            (N and M come from the file)
+//	uniform     — UniformGen(N, M, Seed)
+//	temporal    — TemporalGen(N, M, P, Seed), P in [0,1)
+//	hpc         — HPCGen(N, M, Seed)
+//	projector   — ProjectorGen(N, M, Seed)
+//	facebook    — FacebookGen(N, M, Seed)
+//	zipf        — ZipfGen(N, M, S, Seed), S > 0
+//	hotspot     — HotspotGen(N, M, Hot, HotOpn, Seed): a Hot fraction of
+//	              the nodes receives a HotOpn fraction of the endpoint
+//	              draws (both in (0,1), and Hot·N must leave both sets
+//	              non-empty)
+//	exponential — ExponentialGen(N, M, S, Seed), S > 0 the decay rate
+//	sequential  — SequentialGen(N, M): the deterministic all-pairs sweep;
+//	              reads no seed
+//	histogram   — HistogramGen over explicit node weights read from Path
+//	              (one weight per line; N comes from the file), plus M
+//	              and Seed
+//	latest      — LatestGen(N, M, S, Seed), S > 0 the recency skew
+//	csv         — a trace file written by workload.WriteCSV, streamed from
+//	              Path (N comes from the file; length is unknown up front)
+//	phased      — the concatenation of Phases: each phase is a complete
+//	              trace def of any non-phased, known-length kind whose M
+//	              is the phase's duration; all phases must share one node
+//	              count. Flash crowds, diurnal skew rotation and hot-set
+//	              drift are phase lists (see EXPERIMENTS.md §A6).
 //
 // Name optionally overrides the trace's report label.
 type TraceDef struct {
-	Kind string  `json:"kind"`
-	Name string  `json:"name,omitempty"`
-	N    int     `json:"n,omitempty"`
-	M    int     `json:"m,omitempty"`
-	P    float64 `json:"p,omitempty"`
-	S    float64 `json:"s,omitempty"`
-	Seed int64   `json:"seed,omitempty"`
-	Path string  `json:"path,omitempty"`
+	Kind   string     `json:"kind"`
+	Name   string     `json:"name,omitempty"`
+	N      int        `json:"n,omitempty"`
+	M      int        `json:"m,omitempty"`
+	P      float64    `json:"p,omitempty"`
+	S      float64    `json:"s,omitempty"`
+	Hot    float64    `json:"hot,omitempty"`
+	HotOpn float64    `json:"hotopn,omitempty"`
+	Seed   int64      `json:"seed,omitempty"`
+	Path   string     `json:"path,omitempty"`
+	Phases []TraceDef `json:"phases,omitempty"`
 }
 
 // EngineDef is the serializable subset of the engine's options. Zero
@@ -149,10 +169,15 @@ type Experiment struct {
 // is cheap to call once per grid cell.
 type NetworkBuilder func(NetworkDef) (engine.NetworkSpec, error)
 
-// TraceBuilder materializes a def of its registered kind into a trace. It
-// is called exactly once per Experiment resolution, however many grid
-// cells share the trace.
-type TraceBuilder func(TraceDef) (workload.Trace, error)
+// TraceBuilder resolves a def of its registered kind to a streaming
+// request generator. It is called exactly once per Experiment resolution,
+// however many grid cells share the trace: the returned Generator is the
+// shared factory, and each cell takes its own independent pass over it
+// (sound by the Generator contract — every Requests call owns its
+// iteration state). Builders therefore must return deterministic
+// generators; a generator with hidden mutable cursor state would make
+// grid results depend on cell scheduling.
+type TraceBuilder func(TraceDef) (workload.Generator, error)
 
 var (
 	regMu    sync.RWMutex
@@ -231,23 +256,34 @@ func (d NetworkDef) Spec() (engine.NetworkSpec, error) {
 	return ns, nil
 }
 
-// Materialize resolves the def through the registry and generates (or
-// loads) the trace.
-func (d TraceDef) Materialize() (workload.Trace, error) {
+// Resolve resolves the def through the registry to its streaming request
+// generator; no requests are drawn (or materialized) until a consumer
+// iterates the returned Generator.
+func (d TraceDef) Resolve() (workload.Generator, error) {
 	regMu.RLock()
 	build, ok := traces[d.Kind]
 	regMu.RUnlock()
 	if !ok {
-		return workload.Trace{}, fmt.Errorf("spec: unknown trace kind %q (registered: %v)", d.Kind, TraceKinds())
+		return nil, fmt.Errorf("spec: unknown trace kind %q (registered: %v)", d.Kind, TraceKinds())
 	}
-	tr, err := build(d)
+	g, err := build(d)
+	if err != nil {
+		return nil, err
+	}
+	if d.Name != "" {
+		g = workload.Relabel(g, d.Name)
+	}
+	return g, nil
+}
+
+// Materialize is Resolve followed by collecting the whole stream into a
+// Trace: the in-memory convenience for consumers that need random access.
+func (d TraceDef) Materialize() (workload.Trace, error) {
+	g, err := d.Resolve()
 	if err != nil {
 		return workload.Trace{}, err
 	}
-	if d.Name != "" {
-		tr.Name = d.Name
-	}
-	return tr, nil
+	return workload.Collect(g)
 }
 
 // check validates a trace def without materializing it, where the kind
@@ -312,8 +348,10 @@ func (d EngineDef) Options() []engine.Option {
 }
 
 // Resolve validates the document and turns it into the engine's grid
-// inputs. Each trace def is materialized exactly once, however many grid
-// cells (one per network) will serve it.
+// inputs. Each trace def is resolved to its generator factory exactly
+// once, however many grid cells (one per network) will serve it — the
+// cells stream their own passes, so a grid holds one factory per trace
+// instead of one materialized request slice per cell.
 func (x *Experiment) Resolve() ([]engine.NetworkSpec, []engine.TraceSpec, []engine.Option, error) {
 	if err := x.Validate(); err != nil {
 		return nil, nil, nil, err
@@ -328,11 +366,11 @@ func (x *Experiment) Resolve() ([]engine.NetworkSpec, []engine.TraceSpec, []engi
 	}
 	trs := make([]engine.TraceSpec, len(x.Traces))
 	for j, d := range x.Traces {
-		tr, err := d.Materialize()
+		g, err := d.Resolve()
 		if err != nil {
 			return nil, nil, nil, fmt.Errorf("traces[%d]: %w", j, err)
 		}
-		trs[j] = engine.TraceSpec{Name: tr.Name, N: tr.N, Reqs: tr.Reqs}
+		trs[j] = engine.TraceSpecFor(g)
 	}
 	return nets, trs, x.Engine.Options(), nil
 }
@@ -485,9 +523,9 @@ func registerBuiltinNetwork(kind string, check func(NetworkDef) error, build Net
 }
 
 func registerBuiltinTrace(kind string, check func(TraceDef) error, build TraceBuilder) {
-	RegisterTrace(kind, func(d TraceDef) (workload.Trace, error) {
+	RegisterTrace(kind, func(d TraceDef) (workload.Generator, error) {
 		if err := check(d); err != nil {
-			return workload.Trace{}, err
+			return nil, err
 		}
 		return build(d)
 	})
@@ -526,7 +564,9 @@ func noParams(kind string) func(NetworkDef) error {
 // genCheck validates the shared generator parameters (every builtin trace
 // generator needs at least two nodes to form a self-loop-free pair) and
 // rejects set-but-unread ones: wantP/wantS mark the kinds that read the
-// temporal parameter p and the skew parameter s.
+// temporal parameter p and the skew parameter s. Only hotspot reads
+// hot/hotopn and only phased reads phases; both have their own checks, so
+// genCheck rejects those fields outright.
 func genCheck(kind string, wantP, wantS bool) func(TraceDef) error {
 	return func(d TraceDef) error {
 		if d.N < 2 {
@@ -537,6 +577,12 @@ func genCheck(kind string, wantP, wantS bool) func(TraceDef) error {
 		}
 		if d.Path != "" {
 			return fmt.Errorf("spec: trace kind %q does not read path (got %q)", kind, d.Path)
+		}
+		if d.Hot != 0 || d.HotOpn != 0 {
+			return fmt.Errorf("spec: trace kind %q does not read hot/hotopn (got %v/%v)", kind, d.Hot, d.HotOpn)
+		}
+		if len(d.Phases) != 0 {
+			return fmt.Errorf("spec: trace kind %q does not read phases (got %d)", kind, len(d.Phases))
 		}
 		switch {
 		case wantP && (d.P < 0 || d.P >= 1):
@@ -552,6 +598,92 @@ func genCheck(kind string, wantP, wantS bool) func(TraceDef) error {
 		}
 		return nil
 	}
+}
+
+// hotspotCheck is genCheck for the one kind that reads hot/hotopn, with
+// the set-size constraint HotspotGen would otherwise panic on.
+func hotspotCheck(d TraceDef) error {
+	if d.N < 2 {
+		return fmt.Errorf("spec: trace kind \"hotspot\" needs n >= 2, got %d", d.N)
+	}
+	if d.M < 1 {
+		return fmt.Errorf("spec: trace kind \"hotspot\" needs m >= 1, got %d", d.M)
+	}
+	if d.P != 0 || d.S != 0 || d.Path != "" || len(d.Phases) != 0 {
+		return fmt.Errorf("spec: trace kind \"hotspot\" reads only n/m/hot/hotopn/seed (got p=%v s=%v path=%q phases=%d)", d.P, d.S, d.Path, len(d.Phases))
+	}
+	if d.HotOpn <= 0 || d.HotOpn >= 1 {
+		return fmt.Errorf("spec: trace kind \"hotspot\" needs hotopn in (0,1), got %v", d.HotOpn)
+	}
+	if hot := int(d.Hot * float64(d.N)); d.Hot <= 0 || d.Hot >= 1 || hot < 1 || hot >= d.N {
+		return fmt.Errorf("spec: trace kind \"hotspot\" needs hot in (0,1) with hot·n in 1..n-1, got hot=%v n=%d", d.Hot, d.N)
+	}
+	return nil
+}
+
+// sequentialCheck: the all-pairs sweep is fully deterministic, so a set
+// seed (or any distribution parameter) describes an experiment the kind
+// cannot run.
+func sequentialCheck(d TraceDef) error {
+	if d.N < 2 {
+		return fmt.Errorf("spec: trace kind \"sequential\" needs n >= 2, got %d", d.N)
+	}
+	if d.M < 1 {
+		return fmt.Errorf("spec: trace kind \"sequential\" needs m >= 1, got %d", d.M)
+	}
+	if d.P != 0 || d.S != 0 || d.Seed != 0 || d.Path != "" || d.Hot != 0 || d.HotOpn != 0 || len(d.Phases) != 0 {
+		return fmt.Errorf("spec: trace kind \"sequential\" reads only n and m (got p=%v s=%v seed=%d path=%q hot=%v hotopn=%v phases=%d)",
+			d.P, d.S, d.Seed, d.Path, d.Hot, d.HotOpn, len(d.Phases))
+	}
+	return nil
+}
+
+// histogramCheck: node count and weights come from the file, so n must
+// stay zero like csv's.
+func histogramCheck(d TraceDef) error {
+	if d.Path == "" {
+		return fmt.Errorf("spec: trace kind \"histogram\" needs a path")
+	}
+	if d.M < 1 {
+		return fmt.Errorf("spec: trace kind \"histogram\" needs m >= 1, got %d", d.M)
+	}
+	if d.N != 0 || d.P != 0 || d.S != 0 || d.Hot != 0 || d.HotOpn != 0 || len(d.Phases) != 0 {
+		return fmt.Errorf("spec: trace kind \"histogram\" reads only path/m/seed/name; n comes from the file (got n=%d p=%v s=%v hot=%v hotopn=%v phases=%d)",
+			d.N, d.P, d.S, d.Hot, d.HotOpn, len(d.Phases))
+	}
+	return nil
+}
+
+// phasedCheck validates the phase list recursively: every phase is a
+// complete def of a known-length, non-nested kind, all phases agree on
+// the node count, and the outer def carries nothing but name and phases
+// (its label and length are derived).
+func phasedCheck(d TraceDef) error {
+	if len(d.Phases) == 0 {
+		return fmt.Errorf("spec: trace kind \"phased\" needs at least one phase")
+	}
+	if d.N != 0 || d.M != 0 || d.P != 0 || d.S != 0 || d.Seed != 0 || d.Path != "" || d.Hot != 0 || d.HotOpn != 0 {
+		return fmt.Errorf("spec: trace kind \"phased\" reads only name and phases; n/m and all parameters live on the phase defs (got n=%d m=%d p=%v s=%v seed=%d path=%q hot=%v hotopn=%v)",
+			d.N, d.M, d.P, d.S, d.Seed, d.Path, d.Hot, d.HotOpn)
+	}
+	n := 0
+	for i, pd := range d.Phases {
+		switch pd.Kind {
+		case "phased":
+			return fmt.Errorf("spec: phases[%d]: phased traces do not nest", i)
+		case "csv":
+			return fmt.Errorf("spec: phases[%d]: kind \"csv\" cannot be a phase (its length is not declared, so the phase duration is unknowable)", i)
+		}
+		if err := pd.check(); err != nil {
+			return fmt.Errorf("spec: phases[%d]: %w", i, err)
+		}
+		if i == 0 {
+			n = pd.N
+		} else if pd.N != n {
+			return fmt.Errorf("spec: phases[%d]: node count %d differs from phase 0's %d (one network serves the whole stream)", i, pd.N, n)
+		}
+	}
+	return nil
 }
 
 // makeNet adapts an error-returning constructor to NetworkSpec.Make:
@@ -713,42 +845,81 @@ func init() {
 		})
 	})
 
-	registerBuiltinTrace("uniform", genCheck("uniform", false, false), func(d TraceDef) (workload.Trace, error) {
-		return workload.Uniform(d.N, d.M, d.Seed), nil
+	registerBuiltinTrace("uniform", genCheck("uniform", false, false), func(d TraceDef) (workload.Generator, error) {
+		return workload.UniformGen(d.N, d.M, d.Seed), nil
 	})
-	registerBuiltinTrace("temporal", genCheck("temporal", true, false), func(d TraceDef) (workload.Trace, error) {
-		return workload.Temporal(d.N, d.M, d.P, d.Seed), nil
+	registerBuiltinTrace("temporal", genCheck("temporal", true, false), func(d TraceDef) (workload.Generator, error) {
+		return workload.TemporalGen(d.N, d.M, d.P, d.Seed), nil
 	})
-	registerBuiltinTrace("hpc", genCheck("hpc", false, false), func(d TraceDef) (workload.Trace, error) {
-		return workload.HPCLike(d.N, d.M, d.Seed), nil
+	registerBuiltinTrace("hpc", genCheck("hpc", false, false), func(d TraceDef) (workload.Generator, error) {
+		return workload.HPCGen(d.N, d.M, d.Seed), nil
 	})
-	registerBuiltinTrace("projector", genCheck("projector", false, false), func(d TraceDef) (workload.Trace, error) {
-		return workload.ProjecToRLike(d.N, d.M, d.Seed), nil
+	registerBuiltinTrace("projector", genCheck("projector", false, false), func(d TraceDef) (workload.Generator, error) {
+		return workload.ProjectorGen(d.N, d.M, d.Seed), nil
 	})
-	registerBuiltinTrace("facebook", genCheck("facebook", false, false), func(d TraceDef) (workload.Trace, error) {
-		return workload.FacebookLike(d.N, d.M, d.Seed), nil
+	registerBuiltinTrace("facebook", genCheck("facebook", false, false), func(d TraceDef) (workload.Generator, error) {
+		return workload.FacebookGen(d.N, d.M, d.Seed), nil
 	})
-	registerBuiltinTrace("zipf", genCheck("zipf", false, true), func(d TraceDef) (workload.Trace, error) {
-		return workload.Zipf(d.N, d.M, d.S, d.Seed), nil
+	registerBuiltinTrace("zipf", genCheck("zipf", false, true), func(d TraceDef) (workload.Generator, error) {
+		return workload.ZipfGen(d.N, d.M, d.S, d.Seed), nil
+	})
+	registerBuiltinTrace("hotspot", hotspotCheck, func(d TraceDef) (workload.Generator, error) {
+		return workload.HotspotGen(d.N, d.M, d.Hot, d.HotOpn, d.Seed), nil
+	})
+	registerBuiltinTrace("exponential", genCheck("exponential", false, true), func(d TraceDef) (workload.Generator, error) {
+		return workload.ExponentialGen(d.N, d.M, d.S, d.Seed), nil
+	})
+	registerBuiltinTrace("latest", genCheck("latest", false, true), func(d TraceDef) (workload.Generator, error) {
+		return workload.LatestGen(d.N, d.M, d.S, d.Seed), nil
+	})
+	registerBuiltinTrace("sequential", sequentialCheck, func(d TraceDef) (workload.Generator, error) {
+		return workload.SequentialGen(d.N, d.M), nil
+	})
+	registerBuiltinTrace("histogram", histogramCheck, func(d TraceDef) (workload.Generator, error) {
+		f, err := os.Open(d.Path)
+		if err != nil {
+			return nil, fmt.Errorf("spec: opening histogram file: %w", err)
+		}
+		defer f.Close()
+		weights, err := workload.ReadWeights(f)
+		if err != nil {
+			return nil, fmt.Errorf("spec: %s: %w", d.Path, err)
+		}
+		g, err := workload.HistogramGen(len(weights), d.M, weights, d.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("spec: %s: %w", d.Path, err)
+		}
+		return g, nil
 	})
 	registerBuiltinTrace("csv", func(d TraceDef) error {
 		if d.Path == "" {
 			return fmt.Errorf("spec: trace kind \"csv\" needs a path")
 		}
-		if d.N != 0 || d.M != 0 || d.P != 0 || d.S != 0 || d.Seed != 0 {
-			return fmt.Errorf("spec: trace kind \"csv\" reads only path and name; n/m/p/s/seed come from the file (got n=%d m=%d p=%v s=%v seed=%d)", d.N, d.M, d.P, d.S, d.Seed)
+		if d.N != 0 || d.M != 0 || d.P != 0 || d.S != 0 || d.Seed != 0 || d.Hot != 0 || d.HotOpn != 0 || len(d.Phases) != 0 {
+			return fmt.Errorf("spec: trace kind \"csv\" reads only path and name; everything else comes from the file (got n=%d m=%d p=%v s=%v seed=%d hot=%v hotopn=%v phases=%d)",
+				d.N, d.M, d.P, d.S, d.Seed, d.Hot, d.HotOpn, len(d.Phases))
 		}
 		return nil
-	}, func(d TraceDef) (workload.Trace, error) {
-		f, err := os.Open(d.Path)
+	}, func(d TraceDef) (workload.Generator, error) {
+		g, err := workload.OpenCSV(d.Path)
 		if err != nil {
-			return workload.Trace{}, fmt.Errorf("spec: opening trace file: %w", err)
+			return nil, fmt.Errorf("spec: %s: %w", d.Path, err)
 		}
-		defer f.Close()
-		tr, err := workload.ReadCSV(f)
-		if err != nil {
-			return workload.Trace{}, fmt.Errorf("spec: %s: %w", d.Path, err)
+		return g, nil
+	})
+	registerBuiltinTrace("phased", phasedCheck, func(d TraceDef) (workload.Generator, error) {
+		phases := make([]workload.Phase, len(d.Phases))
+		for i, pd := range d.Phases {
+			g, err := pd.Resolve()
+			if err != nil {
+				return nil, fmt.Errorf("spec: phases[%d]: %w", i, err)
+			}
+			phases[i] = workload.Phase{Gen: g, M: pd.M}
 		}
-		return tr, nil
+		label := d.Name
+		if label == "" {
+			label = "phased"
+		}
+		return workload.PhasedGen(label, phases)
 	})
 }

@@ -155,7 +155,7 @@ func TestRegisterDuplicatePanics(t *testing.T) {
 		})
 	})
 	mustPanic("duplicate trace kind", func() {
-		RegisterTrace("uniform", func(TraceDef) (workload.Trace, error) {
+		RegisterTrace("uniform", func(TraceDef) (workload.Generator, error) {
 			return workload.Trace{}, nil
 		})
 	})
@@ -168,7 +168,7 @@ func TestRegisterRejectsNilAndEmpty(t *testing.T) {
 		},
 		"nil network builder": func() { RegisterNetwork("x-nil", nil) },
 		"empty trace kind": func() {
-			RegisterTrace("", func(TraceDef) (workload.Trace, error) { return workload.Trace{}, nil })
+			RegisterTrace("", func(TraceDef) (workload.Generator, error) { return workload.Trace{}, nil })
 		},
 		"nil trace builder": func() { RegisterTrace("x-nil", nil) },
 	} {
@@ -189,7 +189,7 @@ func TestCustomKindsResolve(t *testing.T) {
 			return fixedNet{n: n}
 		}}, nil
 	})
-	RegisterTrace("test-pair", func(d TraceDef) (workload.Trace, error) {
+	RegisterTrace("test-pair", func(d TraceDef) (workload.Generator, error) {
 		return workload.Trace{Name: "pair", N: d.N, Reqs: []sim.Request{{Src: 1, Dst: 2}}}, nil
 	})
 	x := &Experiment{

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"testing"
+)
+
+// BenchmarkGenerate measures one full streaming pass per op for every
+// generator kind: 100k requests over a mid-sized node space. The
+// machine-independent contract (enforced by benchdiff in CI) is the
+// allocation profile — a pass allocates its rng, permutations and
+// samplers once, never per request — so a generator that starts
+// allocating in its inner loop fails the gate regardless of host speed.
+func BenchmarkGenerate(b *testing.B) {
+	const n, m = 256, 100_000
+	hist := func() Generator {
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = float64(n - i)
+		}
+		g, err := HistogramGen(n, m, w, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return g
+	}()
+	phased := func() Generator {
+		g, err := PhasedGen("drift", []Phase{
+			{Gen: HotspotGen(n, m/2, 0.1, 0.9, 1), M: m / 2},
+			{Gen: HotspotGen(n, m/2, 0.1, 0.9, 2), M: m / 2},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return g
+	}()
+	gens := []struct {
+		name string
+		gen  Generator
+	}{
+		{"uniform", UniformGen(n, m, 1)},
+		{"temporal", TemporalGen(n, m, 0.75, 1)},
+		{"hpc", HPCGen(n, m, 1)},
+		{"projector", ProjectorGen(n, m, 1)},
+		{"facebook", FacebookGen(n, m, 1)},
+		{"zipf", ZipfGen(n, m, 1.1, 1)},
+		{"hotspot", HotspotGen(n, m, 0.1, 0.9, 1)},
+		{"exponential", ExponentialGen(n, m, 4, 1)},
+		{"latest", LatestGen(n, m, 1.1, 1)},
+		{"sequential", SequentialGen(n, m)},
+		{"histogram", hist},
+		{"phased", phased},
+	}
+	for _, tc := range gens {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				count := 0
+				for _, err := range tc.gen.Requests() {
+					if err != nil {
+						b.Fatal(err)
+					}
+					count++
+				}
+				if count != m {
+					b.Fatalf("pass yielded %d requests, want %d", count, m)
+				}
+			}
+			b.SetBytes(int64(m))
+		})
+	}
+}
+
+// BenchmarkCollect is the materializing counterpart: the same pass plus
+// the slice the streaming path exists to avoid. The gap between this and
+// BenchmarkGenerate/uniform is the refactor's memory story in one number.
+func BenchmarkCollect(b *testing.B) {
+	const n, m = 256, 100_000
+	g := UniformGen(n, m, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr, err := Collect(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tr.Len() != m {
+			b.Fatal("short collect")
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"iter"
+	"os"
 	"strconv"
 
 	"github.com/ksan-net/ksan/internal/sim"
@@ -12,15 +14,23 @@ import (
 // WriteCSV serializes a trace as CSV with a header row ("src,dst") preceded
 // by a comment-free metadata row "#name,n". The format is what
 // cmd/ksantrace produces and consumes.
-func WriteCSV(w io.Writer, tr Trace) error {
+func WriteCSV(w io.Writer, tr Trace) error { return WriteCSVFrom(w, tr) }
+
+// WriteCSVFrom serializes a generator's stream as CSV without materializing
+// it: requests pass from the generator to the writer one at a time, so
+// trace files of any length stream through constant memory.
+func WriteCSVFrom(w io.Writer, g Generator) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"#" + tr.Name, strconv.Itoa(tr.N)}); err != nil {
+	if err := cw.Write([]string{"#" + g.Label(), strconv.Itoa(g.Nodes())}); err != nil {
 		return fmt.Errorf("workload: writing trace header: %w", err)
 	}
 	if err := cw.Write([]string{"src", "dst"}); err != nil {
 		return fmt.Errorf("workload: writing column header: %w", err)
 	}
-	for _, rq := range tr.Reqs {
+	for rq, err := range g.Requests() {
+		if err != nil {
+			return fmt.Errorf("workload: streaming %q: %w", g.Label(), err)
+		}
 		if err := cw.Write([]string{strconv.Itoa(rq.Src), strconv.Itoa(rq.Dst)}); err != nil {
 			return fmt.Errorf("workload: writing request: %w", err)
 		}
@@ -29,52 +39,147 @@ func WriteCSV(w io.Writer, tr Trace) error {
 	return cw.Error()
 }
 
-// ReadCSV parses a trace produced by WriteCSV. Errors name the offending
-// line (as counted by the CSV reader) and field, so a bad row in a
-// million-request trace file is findable: "line 7042: bad dst "1o24"".
-func ReadCSV(r io.Reader) (Trace, error) {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = 2
+// readCSVHeader consumes the "#name,n" metadata row and the "src,dst"
+// column header from a just-opened CSV reader.
+func readCSVHeader(cr *csv.Reader) (name string, n int, err error) {
 	head, err := cr.Read()
 	if err != nil {
-		return Trace{}, fmt.Errorf("workload: reading trace header: %w", err)
+		return "", 0, fmt.Errorf("workload: reading trace header: %w", err)
 	}
 	if len(head[0]) == 0 || head[0][0] != '#' {
-		return Trace{}, fmt.Errorf("workload: line 1: missing #name metadata row (got %q)", head[0])
+		return "", 0, fmt.Errorf("workload: line 1: missing #name metadata row (got %q)", head[0])
 	}
-	n, err := strconv.Atoi(head[1])
+	n, err = strconv.Atoi(head[1])
 	if err != nil || n < 1 {
-		return Trace{}, fmt.Errorf("workload: line 1: bad node count %q", head[1])
+		return "", 0, fmt.Errorf("workload: line 1: bad node count %q", head[1])
 	}
-	tr := Trace{Name: head[0][1:], N: n}
 	if _, err := cr.Read(); err != nil { // column header
-		return Trace{}, fmt.Errorf("workload: reading column header: %w", err)
+		return "", 0, fmt.Errorf("workload: reading column header: %w", err)
 	}
-	for {
-		rec, err := cr.Read()
-		if err == io.EOF {
-			break
+	return head[0][1:], n, nil
+}
+
+// csvRequests yields the request rows of a CSV reader whose header has
+// already been consumed. Errors name the offending line (as counted by the
+// CSV reader) and field, so a bad row in a million-request trace file is
+// findable: "line 7042: bad dst "1o24"". An error ends the stream.
+func csvRequests(cr *csv.Reader, n int) iter.Seq2[sim.Request, error] {
+	return func(yield func(sim.Request, error) bool) {
+		for {
+			rec, err := cr.Read()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				// csv.ParseError already carries the line number.
+				yield(sim.Request{}, fmt.Errorf("workload: reading request: %w", err))
+				return
+			}
+			line, _ := cr.FieldPos(0)
+			u, uerr := strconv.Atoi(rec[0])
+			if uerr != nil {
+				yield(sim.Request{}, fmt.Errorf("workload: line %d: bad src %q", line, rec[0]))
+				return
+			}
+			v, verr := strconv.Atoi(rec[1])
+			if verr != nil {
+				yield(sim.Request{}, fmt.Errorf("workload: line %d: bad dst %q", line, rec[1]))
+				return
+			}
+			if u < 1 || u > n || v < 1 || v > n {
+				yield(sim.Request{}, fmt.Errorf("workload: line %d: request %d→%d outside 1..%d", line, u, v, n))
+				return
+			}
+			if u == v {
+				yield(sim.Request{}, fmt.Errorf("workload: line %d: self-loop at %d", line, u))
+				return
+			}
+			if !yield(sim.Request{Src: u, Dst: v}, nil) {
+				return
+			}
 		}
+	}
+}
+
+func newCSVReader(r io.Reader) *csv.Reader {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	return cr
+}
+
+// ReadCSV parses a trace produced by WriteCSV, materializing it. It is the
+// in-memory convenience over the same row parser that backs CSVGenerator.
+func ReadCSV(r io.Reader) (Trace, error) {
+	cr := newCSVReader(r)
+	name, n, err := readCSVHeader(cr)
+	if err != nil {
+		return Trace{}, err
+	}
+	tr := Trace{Name: name, N: n}
+	for rq, err := range csvRequests(cr, n) {
 		if err != nil {
-			// csv.ParseError already carries the line number.
-			return Trace{}, fmt.Errorf("workload: reading request: %w", err)
+			return Trace{}, err
 		}
-		line, _ := cr.FieldPos(0)
-		u, uerr := strconv.Atoi(rec[0])
-		if uerr != nil {
-			return Trace{}, fmt.Errorf("workload: line %d: bad src %q", line, rec[0])
-		}
-		v, verr := strconv.Atoi(rec[1])
-		if verr != nil {
-			return Trace{}, fmt.Errorf("workload: line %d: bad dst %q", line, rec[1])
-		}
-		if u < 1 || u > n || v < 1 || v > n {
-			return Trace{}, fmt.Errorf("workload: line %d: request %d→%d outside 1..%d", line, u, v, n)
-		}
-		if u == v {
-			return Trace{}, fmt.Errorf("workload: line %d: self-loop at %d", line, u)
-		}
-		tr.Reqs = append(tr.Reqs, sim.Request{Src: u, Dst: v})
+		tr.Reqs = append(tr.Reqs, rq)
 	}
 	return tr, nil
+}
+
+// CSVGenerator streams a trace file row by row: the csv trace kind no
+// longer loads whole files. Its Len is UnknownLen (counting would mean a
+// full scan); each Requests pass re-opens the file, so passes are
+// independent and the generator holds no descriptor between them.
+type CSVGenerator struct {
+	path string
+	name string
+	n    int
+}
+
+// OpenCSV validates the header of the trace file at path (its name and
+// node count become the generator's Label and Nodes) and returns a
+// streaming generator over its rows. The file itself is opened per pass,
+// not held.
+func OpenCSV(path string) (*CSVGenerator, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: opening trace: %w", err)
+	}
+	defer f.Close()
+	name, n, err := readCSVHeader(newCSVReader(f))
+	if err != nil {
+		return nil, err
+	}
+	return &CSVGenerator{path: path, name: name, n: n}, nil
+}
+
+func (g *CSVGenerator) Label() string { return g.name }
+func (g *CSVGenerator) Nodes() int    { return g.n }
+func (g *CSVGenerator) Len() int      { return UnknownLen }
+
+func (g *CSVGenerator) Requests() iter.Seq2[sim.Request, error] {
+	return func(yield func(sim.Request, error) bool) {
+		f, err := os.Open(g.path)
+		if err != nil {
+			yield(sim.Request{}, fmt.Errorf("workload: opening trace: %w", err))
+			return
+		}
+		defer f.Close()
+		cr := newCSVReader(f)
+		name, n, err := readCSVHeader(cr)
+		if err != nil {
+			yield(sim.Request{}, err)
+			return
+		}
+		// The file may have been rewritten between passes; the stream must
+		// still match the generator's advertised shape.
+		if name != g.name || n != g.n {
+			yield(sim.Request{}, fmt.Errorf("workload: %s changed underfoot: header %q/%d, opened as %q/%d", g.path, name, n, g.name, g.n))
+			return
+		}
+		for rq, err := range csvRequests(cr, n) {
+			if !yield(rq, err) || err != nil {
+				return
+			}
+		}
+	}
 }

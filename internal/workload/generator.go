@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"fmt"
+	"iter"
+	"math/rand"
+
+	"github.com/ksan-net/ksan/internal/sim"
+)
+
+// Generator is a deterministic, resettable request stream: the streaming
+// form of a workload that every consumer (the engine, the spec layer, the
+// CLIs) iterates instead of materializing a []sim.Request, so trace length
+// is never memory-bound.
+//
+// The contract (DESIGN.md §10):
+//
+//   - Deterministic: a Generator is an immutable recipe. Every call to
+//     Requests yields the same sequence, element for element — that call
+//     IS the reset operation; there is no mutable cursor to rewind.
+//   - Resettable and concurrently iterable: each Requests call owns its
+//     iteration state (its own rand.Rand, recency lists, phase cursors),
+//     so independent passes may run on different goroutines at once. Grid
+//     cells sharing one trace each take their own pass.
+//   - Known width, optional length: Nodes is always known (it sizes the
+//     networks built for the stream); Len returns the total request count
+//     or UnknownLen for sources that cannot know it without a full scan
+//     (e.g. CSV files read line by line).
+//   - Errors end the stream: a yielded non-nil error (a malformed CSV
+//     line, an I/O failure) is terminal; no further requests follow it.
+//     Purely synthetic generators never yield one.
+//
+// workload.Trace is the trivial implementation: a fully materialized
+// stream whose passes range over the slice.
+type Generator interface {
+	// Label names the workload in reports (e.g. "temporal-0.75").
+	Label() string
+	// Nodes returns the number of network nodes the stream addresses;
+	// every yielded request has both endpoints in 1..Nodes().
+	Nodes() int
+	// Len returns the total number of requests the stream yields, or
+	// UnknownLen when the length is unknowable without consuming it.
+	Len() int
+	// Requests returns a fresh, deterministic pass over the stream.
+	Requests() iter.Seq2[sim.Request, error]
+}
+
+// UnknownLen is the Len of a Generator whose stream length is unknowable
+// up front (file-backed sources).
+const UnknownLen = -1
+
+// Label returns tr.Name: a Trace is the trivial, fully materialized
+// Generator.
+func (tr Trace) Label() string { return tr.Name }
+
+// Nodes returns tr.N.
+func (tr Trace) Nodes() int { return tr.N }
+
+// Requests yields the materialized request slice; every pass is identical
+// and passes never error.
+func (tr Trace) Requests() iter.Seq2[sim.Request, error] {
+	return func(yield func(sim.Request, error) bool) {
+		for _, rq := range tr.Reqs {
+			if !yield(rq, nil) {
+				return
+			}
+		}
+	}
+}
+
+// Collect materializes a generator into a Trace, the historical in-memory
+// form. It is the bridge for consumers that genuinely need random access
+// (demand aggregation, statistics requiring two passes); everything else
+// should iterate Requests directly. Generators of unknown length collect
+// into however many requests the stream yields.
+func Collect(g Generator) (Trace, error) {
+	tr := Trace{Name: g.Label(), N: g.Nodes()}
+	if m := g.Len(); m > 0 {
+		tr.Reqs = make([]sim.Request, 0, m)
+	}
+	for rq, err := range g.Requests() {
+		if err != nil {
+			return tr, err
+		}
+		tr.Reqs = append(tr.Reqs, rq)
+	}
+	return tr, nil
+}
+
+// MustCollect is Collect for generators that cannot error (every synthetic
+// kind); it panics on a stream error, which on those kinds is a bug.
+func MustCollect(g Generator) Trace {
+	tr, err := Collect(g)
+	if err != nil {
+		panic(fmt.Sprintf("workload: collecting %q: %v", g.Label(), err))
+	}
+	return tr
+}
+
+// Relabel returns a view of g whose Label is name (report labels are
+// data, not identity: the stream is untouched).
+func Relabel(g Generator, name string) Generator {
+	if name == "" || name == g.Label() {
+		return g
+	}
+	return relabeled{Generator: g, label: name}
+}
+
+type relabeled struct {
+	Generator
+	label string
+}
+
+func (r relabeled) Label() string { return r.label }
+
+// seqGen is the shared chassis of the synthetic generators: a label, the
+// dimensions, a seed, and a start function that builds the per-pass
+// iteration state from a fresh rng and returns the next-request function.
+// Requests seeds a new rand.Rand per pass, so passes are independent and
+// identical — the determinism and reset semantics of the Generator
+// contract fall out of construction.
+type seqGen struct {
+	label string
+	n, m  int
+	seed  int64
+	start func(rng *rand.Rand) func() sim.Request
+}
+
+func (g *seqGen) Label() string { return g.label }
+func (g *seqGen) Nodes() int    { return g.n }
+func (g *seqGen) Len() int      { return g.m }
+
+func (g *seqGen) Requests() iter.Seq2[sim.Request, error] {
+	return func(yield func(sim.Request, error) bool) {
+		next := g.start(rand.New(rand.NewSource(g.seed)))
+		for i := 0; i < g.m; i++ {
+			if !yield(next(), nil) {
+				return
+			}
+		}
+	}
+}

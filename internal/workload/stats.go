@@ -2,6 +2,8 @@ package workload
 
 import (
 	"math"
+
+	"github.com/ksan-net/ksan/internal/sim"
 )
 
 // Stats summarizes the complexity of a trace along the axes the paper's
@@ -27,32 +29,50 @@ type Stats struct {
 	Top8PairShare float64
 }
 
-// Measure computes Stats for a trace.
+// Measure computes Stats for a materialized trace.
 func Measure(tr Trace) Stats {
-	st := Stats{Requests: tr.Len()}
-	if tr.Len() == 0 {
-		return st
+	st, err := MeasureStream(tr)
+	if err != nil { // a Trace's stream cannot error
+		panic(err)
 	}
+	return st
+}
+
+// MeasureStream computes Stats from a generator's stream in one pass. Its
+// working set is the distinct-pair and endpoint histograms — the demand,
+// not the trace — so arbitrarily long streams measure in memory
+// proportional to their sparsity.
+func MeasureStream(g Generator) (Stats, error) {
+	var st Stats
 	type key struct{ u, v int }
 	pairs := make(map[key]int64)
 	srcs := make(map[int]int64)
 	dsts := make(map[int]int64)
 	repeats := 0
-	for i, rq := range tr.Reqs {
+	var prev sim.Request
+	for rq, err := range g.Requests() {
+		if err != nil {
+			return Stats{}, err
+		}
 		pairs[key{rq.Src, rq.Dst}]++
 		srcs[rq.Src]++
 		dsts[rq.Dst]++
-		if i > 0 && rq == tr.Reqs[i-1] {
+		if st.Requests > 0 && rq == prev {
 			repeats++
 		}
+		prev = rq
+		st.Requests++
+	}
+	if st.Requests == 0 {
+		return st, nil
 	}
 	st.DistinctPairs = len(pairs)
 	// Only m−1 requests can repeat their predecessor (the first has none),
 	// so dividing by m would bias the empirical temporal parameter low.
-	if tr.Len() > 1 {
-		st.RepeatFraction = float64(repeats) / float64(tr.Len()-1)
+	if st.Requests > 1 {
+		st.RepeatFraction = float64(repeats) / float64(st.Requests-1)
 	}
-	m := float64(tr.Len())
+	m := float64(st.Requests)
 	entropy := func(counts map[int]int64) float64 {
 		h := 0.0
 		for _, c := range counts {
@@ -84,7 +104,7 @@ func Measure(tr Trace) Stats {
 		top += counts[i]
 	}
 	st.Top8PairShare = float64(top) / m
-	return st
+	return st, nil
 }
 
 // EntropyBound evaluates the right-hand side of the paper's Theorem 13
@@ -93,13 +113,29 @@ func Measure(tr Trace) Stats {
 // harness reports it next to measured costs as a sanity check (the bound
 // holds up to a constant factor).
 func EntropyBound(tr Trace) float64 {
+	b, err := EntropyBoundStream(tr)
+	if err != nil { // a Trace's stream cannot error
+		panic(err)
+	}
+	return b
+}
+
+// EntropyBoundStream evaluates the Theorem 13 bound from a generator's
+// stream in one pass; like MeasureStream its working set is the endpoint
+// histograms, not the trace.
+func EntropyBoundStream(g Generator) (float64, error) {
 	srcs := make(map[int]int64)
 	dsts := make(map[int]int64)
-	for _, rq := range tr.Reqs {
+	requests := 0
+	for rq, err := range g.Requests() {
+		if err != nil {
+			return 0, err
+		}
 		srcs[rq.Src]++
 		dsts[rq.Dst]++
+		requests++
 	}
-	m := float64(tr.Len())
+	m := float64(requests)
 	sum := 0.0
 	for _, a := range srcs {
 		sum += float64(a) * math.Log2(m/float64(a))
@@ -107,5 +143,5 @@ func EntropyBound(tr Trace) float64 {
 	for _, b := range dsts {
 		sum += float64(b) * math.Log2(m/float64(b))
 	}
-	return sum
+	return sum, nil
 }

@@ -37,34 +37,39 @@ func checkPairable(gen string, n int) {
 // The locality here is primarily *spatial* (a near-static sparse stencil),
 // which is exactly why Table 8 shows SplayNet slightly ahead of 3-SplayNet
 // on HPC: the fixed centroids cut across the stencil's id-adjacent pairs.
-func HPCLike(n, m int, seed int64) Trace {
-	rng := rand.New(rand.NewSource(seed))
-	dims := cubeDims(n)
-	reqs := make([]sim.Request, m)
-	src := 1 + rng.Intn(n)
-	last := sim.Request{}
-	for i := range reqs {
-		if i > 0 && rng.Float64() < 0.15 {
-			reqs[i] = last
-			continue
-		}
-		if rng.Float64() >= 0.75 {
-			src = 1 + rng.Intn(n)
-		}
-		var dst int
-		if rng.Float64() < 0.06 {
-			dst = butterflyPartner(src, n, rng)
-		} else {
-			dst = torusNeighbor(src, n, dims, rng)
-		}
-		if dst == src {
-			dst = 1 + src%n
-		}
-		last = sim.Request{Src: src, Dst: dst}
-		reqs[i] = last
-	}
-	return Trace{Name: "hpc", N: n, Reqs: reqs}
+func HPCGen(n, m int, seed int64) Generator {
+	checkPairable("HPCLike", n)
+	return &seqGen{label: "hpc", n: n, m: m, seed: seed,
+		start: func(rng *rand.Rand) func() sim.Request {
+			dims := cubeDims(n)
+			src := 1 + rng.Intn(n)
+			last := sim.Request{}
+			i := -1
+			return func() sim.Request {
+				i++
+				if i > 0 && rng.Float64() < 0.15 {
+					return last
+				}
+				if rng.Float64() >= 0.75 {
+					src = 1 + rng.Intn(n)
+				}
+				var dst int
+				if rng.Float64() < 0.06 {
+					dst = butterflyPartner(src, n, rng)
+				} else {
+					dst = torusNeighbor(src, n, dims, rng)
+				}
+				if dst == src {
+					dst = 1 + src%n
+				}
+				last = sim.Request{Src: src, Dst: dst}
+				return last
+			}
+		}}
 }
+
+// HPCLike is the materialized form of HPCGen.
+func HPCLike(n, m int, seed int64) Trace { return MustCollect(HPCGen(n, m, seed)) }
 
 // cubeDims factors n into three near-equal dimensions dx*dy*dz >= n.
 func cubeDims(n int) [3]int {
@@ -150,30 +155,44 @@ func butterflyPartner(src, n int, rng *rand.Rand) int {
 // pair skew SplayNet pins the few elephants at distance one and wins,
 // while the many-warm-pairs regime rewards the centroid net's bounded,
 // subtree-local adjustments.
-func ProjecToRLike(n, m int, seed int64) Trace {
+func ProjectorGen(n, m int, seed int64) Generator {
 	checkPairable("ProjecToRLike", n)
-	rng := rand.New(rand.NewSource(seed))
-	pairs := make([]sim.Request, 0, 4*n)
-	for u := 1; u <= n; u++ {
-		partners := 2 + rng.Intn(5)
-		for p := 0; p < partners; p++ {
-			v := samplePartner(u, n, rng)
-			pairs = append(pairs, sim.Request{Src: u, Dst: v})
+	return &seqGen{label: "projector", n: n, m: m, seed: seed,
+		start: pairPopulationStart(n, 2, 5, 4, 0.25)}
+}
+
+// ProjecToRLike is the materialized form of ProjectorGen.
+func ProjecToRLike(n, m int, seed int64) Trace { return MustCollect(ProjectorGen(n, m, seed)) }
+
+// pairPopulationStart builds the shared per-pass state of the static-pair-
+// population traces (ProjecToR, Facebook): each source draws minPartners +
+// Intn(spread) uniform partners, the pair list is shuffled, pair popularity
+// is Zipf(1.1) over the shuffled order, and the previous request repeats
+// with probability repeat. The per-pass cost is O(pairs) memory — the static
+// demand graph, not the trace.
+func pairPopulationStart(n, minPartners, spread, capPerNode int, repeat float64) func(rng *rand.Rand) func() sim.Request {
+	return func(rng *rand.Rand) func() sim.Request {
+		pairs := make([]sim.Request, 0, capPerNode*n)
+		for u := 1; u <= n; u++ {
+			partners := minPartners + rng.Intn(spread)
+			for p := 0; p < partners; p++ {
+				v := samplePartner(u, n, rng)
+				pairs = append(pairs, sim.Request{Src: u, Dst: v})
+			}
+		}
+		rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+		zipf := newZipfSampler(len(pairs), 1.1)
+		last := pairs[0]
+		i := -1
+		return func() sim.Request {
+			i++
+			if i > 0 && rng.Float64() < repeat {
+				return last
+			}
+			last = pairs[zipf.sample(rng)-1]
+			return last
 		}
 	}
-	rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
-	zipf := newZipfSampler(len(pairs), 1.1)
-	reqs := make([]sim.Request, m)
-	last := pairs[0]
-	for i := range reqs {
-		if i > 0 && rng.Float64() < 0.25 {
-			reqs[i] = last
-			continue
-		}
-		last = pairs[zipf.sample(rng)-1]
-		reqs[i] = last
-	}
-	return Trace{Name: "projector", N: n, Reqs: reqs}
 }
 
 // FacebookLike substitutes for the Facebook datacenter trace (10^4 nodes in
@@ -185,53 +204,39 @@ func ProjecToRLike(n, m int, seed int64) Trace {
 // ~2·log₂ n — implies hot pairs dominate). The generator fixes a static
 // pair population of about 6 pairs per node with Zipf popularity (s=1.1)
 // and a small repeat probability (0.05).
-func FacebookLike(n, m int, seed int64) Trace {
+func FacebookGen(n, m int, seed int64) Generator {
 	checkPairable("FacebookLike", n)
-	rng := rand.New(rand.NewSource(seed))
-	pairs := make([]sim.Request, 0, 6*n)
-	for u := 1; u <= n; u++ {
-		partners := 3 + rng.Intn(7)
-		for p := 0; p < partners; p++ {
-			v := samplePartner(u, n, rng)
-			pairs = append(pairs, sim.Request{Src: u, Dst: v})
-		}
-	}
-	rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
-	zipf := newZipfSampler(len(pairs), 1.1)
-	reqs := make([]sim.Request, m)
-	last := pairs[0]
-	for i := range reqs {
-		if i > 0 && rng.Float64() < 0.05 {
-			reqs[i] = last
-			continue
-		}
-		last = pairs[zipf.sample(rng)-1]
-		reqs[i] = last
-	}
-	return Trace{Name: "facebook", N: n, Reqs: reqs}
+	return &seqGen{label: "facebook", n: n, m: m, seed: seed,
+		start: pairPopulationStart(n, 3, 7, 6, 0.05)}
 }
+
+// FacebookLike is the materialized form of FacebookGen.
+func FacebookLike(n, m int, seed int64) Trace { return MustCollect(FacebookGen(n, m, seed)) }
 
 // Zipf draws m requests with both endpoints Zipf(s)-distributed over
 // independently permuted ranks; a generic skewed workload used in tests and
 // examples. Self-loop collisions resample the destination (the former
 // "successor node" remap leaked the source's popularity mass onto a fixed
 // neighbour, distorting the destination marginal).
-func Zipf(n, m int, s float64, seed int64) Trace {
+func ZipfGen(n, m int, s float64, seed int64) Generator {
 	checkPairable("Zipf", n)
-	rng := rand.New(rand.NewSource(seed))
-	perm := rng.Perm(n)
-	zipf := newZipfSampler(n, s)
-	reqs := make([]sim.Request, m)
-	for i := range reqs {
-		u := perm[zipf.sample(rng)-1] + 1
-		v := perm[zipf.sample(rng)-1] + 1
-		for v == u {
-			v = perm[zipf.sample(rng)-1] + 1
-		}
-		reqs[i] = sim.Request{Src: u, Dst: v}
-	}
-	return Trace{Name: "zipf", N: n, Reqs: reqs}
+	return &seqGen{label: "zipf", n: n, m: m, seed: seed,
+		start: func(rng *rand.Rand) func() sim.Request {
+			perm := rng.Perm(n)
+			zipf := newZipfSampler(n, s)
+			return func() sim.Request {
+				u := perm[zipf.sample(rng)-1] + 1
+				v := perm[zipf.sample(rng)-1] + 1
+				for v == u {
+					v = perm[zipf.sample(rng)-1] + 1
+				}
+				return sim.Request{Src: u, Dst: v}
+			}
+		}}
 }
+
+// Zipf is the materialized form of ZipfGen.
+func Zipf(n, m int, s float64, seed int64) Trace { return MustCollect(ZipfGen(n, m, s, seed)) }
 
 // samplePartner draws a uniform partner for u, resampling self-loops. The
 // former "skip the slot on collision" scheme silently dropped partners — a

@@ -1,14 +1,16 @@
 package workload
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 )
 
-// zipfSampler draws ranks 1..n with probability proportional to 1/rank^s
-// via inverse-CDF binary search. It is a small deterministic alternative to
-// math/rand's rejection-based Zipf that makes the generated traces easy to
-// reason about in tests (the CDF is explicit).
+// zipfSampler draws ranks 1..n with probability proportional to explicit
+// per-rank weights via inverse-CDF binary search. It is a small
+// deterministic alternative to math/rand's rejection-based Zipf that makes
+// the generated traces easy to reason about in tests (the CDF is explicit),
+// and the same CDF machinery backs the exponential and histogram kinds.
 type zipfSampler struct {
 	cdf []float64
 }
@@ -24,6 +26,44 @@ func newZipfSampler(n int, s float64) *zipfSampler {
 		cdf[i] /= acc
 	}
 	return &zipfSampler{cdf: cdf}
+}
+
+// newExpSampler weights rank r by exp(-s·(r-1)/n): the YCSB "exponential"
+// popularity shape, with s fixing how many e-foldings of decay span the
+// whole rank range (s=8 puts ~99.97% of the mass in the first n/8 ranks...
+// scaled by n so one s means one shape at every network size).
+func newExpSampler(n int, s float64) *zipfSampler {
+	cdf := make([]float64, n)
+	acc := 0.0
+	for r := 1; r <= n; r++ {
+		acc += math.Exp(-s * float64(r-1) / float64(n))
+		cdf[r-1] = acc
+	}
+	for i := range cdf {
+		cdf[i] /= acc
+	}
+	return &zipfSampler{cdf: cdf}
+}
+
+// newWeightSampler builds the CDF of explicit non-negative per-rank weights
+// (the histogram kind). At least one weight must be positive.
+func newWeightSampler(weights []float64) (*zipfSampler, error) {
+	cdf := make([]float64, len(weights))
+	acc := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("workload: histogram weight %d is %v; want finite and non-negative", i, w)
+		}
+		acc += w
+		cdf[i] = acc
+	}
+	if len(weights) == 0 || acc <= 0 {
+		return nil, fmt.Errorf("workload: histogram needs at least one positive weight")
+	}
+	for i := range cdf {
+		cdf[i] /= acc
+	}
+	return &zipfSampler{cdf: cdf}, nil
 }
 
 // sample returns a rank in 1..n.

@@ -78,8 +78,19 @@ type Result = sim.Result
 // Network is a (possibly self-adjusting) topology serving requests.
 type Network = sim.Network
 
-// Trace is a finite communication sequence over nodes 1..N.
+// Trace is a finite communication sequence over nodes 1..N (the fully
+// materialized form of a Generator, and itself the trivial Generator).
 type Trace = workload.Trace
+
+// Generator is a deterministic, resettable request stream: the streaming
+// form of a workload that the engine, grids, and experiment files iterate
+// without materializing a request slice, so trace length is never
+// memory-bound. Every Requests() call is an independent, identical pass.
+type Generator = workload.Generator
+
+// Phase is one segment of a phased (drifting) workload: M requests drawn
+// from the front of Gen's stream.
+type Phase = workload.Phase
 
 // Demand is a sparse demand matrix (the offline problem input).
 type Demand = workload.Demand
@@ -297,6 +308,66 @@ func FacebookWorkload(n, m int, seed int64) Trace { return workload.FacebookLike
 // ZipfWorkload draws skewed endpoints with exponent s.
 func ZipfWorkload(n, m int, s float64, seed int64) Trace { return workload.Zipf(n, m, s, seed) }
 
+// UniformGen, TemporalGen, HPCGen, ProjectorGen, FacebookGen and ZipfGen
+// are the streaming forms of the trace constructors above: same seed,
+// bit-identical stream, no materialized slice.
+func UniformGen(n, m int, seed int64) Generator { return workload.UniformGen(n, m, seed) }
+
+// TemporalGen streams the paper's synthetic temporal-locality workload.
+func TemporalGen(n, m int, p float64, seed int64) Generator {
+	return workload.TemporalGen(n, m, p, seed)
+}
+
+// HPCGen streams the HPC-substitute workload.
+func HPCGen(n, m int, seed int64) Generator { return workload.HPCGen(n, m, seed) }
+
+// ProjectorGen streams the ProjecToR-substitute workload.
+func ProjectorGen(n, m int, seed int64) Generator { return workload.ProjectorGen(n, m, seed) }
+
+// FacebookGen streams the Facebook-substitute workload.
+func FacebookGen(n, m int, seed int64) Generator { return workload.FacebookGen(n, m, seed) }
+
+// ZipfGen streams the Zipf workload.
+func ZipfGen(n, m int, s float64, seed int64) Generator { return workload.ZipfGen(n, m, s, seed) }
+
+// HotspotGen streams the YCSB hotspot workload: a hotFrac fraction of the
+// nodes receives a hotOpn fraction of the endpoint draws.
+func HotspotGen(n, m int, hotFrac, hotOpn float64, seed int64) Generator {
+	return workload.HotspotGen(n, m, hotFrac, hotOpn, seed)
+}
+
+// ExponentialGen streams endpoints decaying exponentially over permuted
+// ranks (rate s over the whole node space).
+func ExponentialGen(n, m int, s float64, seed int64) Generator {
+	return workload.ExponentialGen(n, m, s, seed)
+}
+
+// LatestGen streams recency-driven endpoints (Zipf(s) stack distance over
+// a move-to-front list): temporal locality over nodes with a drifting hot
+// set.
+func LatestGen(n, m int, s float64, seed int64) Generator {
+	return workload.LatestGen(n, m, s, seed)
+}
+
+// SequentialGen streams the deterministic lexicographic sweep over all
+// ordered pairs (seedless; the uniform worst case for demand-awareness).
+func SequentialGen(n, m int) Generator { return workload.SequentialGen(n, m) }
+
+// HistogramGen streams endpoints following an explicit node-popularity
+// histogram (weights[i] is node i+1's relative popularity).
+func HistogramGen(n, m int, weights []float64, seed int64) (Generator, error) {
+	return workload.HistogramGen(n, m, weights, seed)
+}
+
+// PhasedGen chains (generator, duration) phases into one drifting stream:
+// flash crowds, diurnal skew rotation and hot-set drift as data.
+func PhasedGen(label string, phases []Phase) (Generator, error) {
+	return workload.PhasedGen(label, phases)
+}
+
+// CollectTrace materializes a generator's stream into a Trace.
+func CollectTrace(g Generator) (Trace, error) { return workload.Collect(g) }
+
 // DemandFromTrace aggregates a trace into its demand matrix.
 func DemandFromTrace(tr Trace) *Demand { return workload.DemandFromTrace(tr) }
 
@@ -312,8 +383,25 @@ func EntropyBound(tr Trace) float64 { return workload.EntropyBound(tr) }
 // WriteTraceCSV serializes a trace (see cmd/ksantrace).
 func WriteTraceCSV(w io.Writer, tr Trace) error { return workload.WriteCSV(w, tr) }
 
-// ReadTraceCSV parses a trace written by WriteTraceCSV.
+// ReadTraceCSV parses a trace written by WriteTraceCSV, materializing it.
 func ReadTraceCSV(r io.Reader) (Trace, error) { return workload.ReadCSV(r) }
+
+// OpenTraceCSV opens a trace file as a streaming Generator: rows are read
+// per pass, line-numbered errors preserved, and the file is never loaded
+// whole.
+func OpenTraceCSV(path string) (Generator, error) { return workload.OpenCSV(path) }
+
+// WriteTraceCSVFrom streams a generator to CSV without materializing it.
+func WriteTraceCSVFrom(w io.Writer, g Generator) error { return workload.WriteCSVFrom(w, g) }
+
+// MeasureStream computes trace statistics from a generator's stream in
+// one pass, in memory proportional to the demand (distinct pairs), not
+// the trace length.
+func MeasureStream(g Generator) (Stats, error) { return workload.MeasureStream(g) }
+
+// EntropyBoundStream evaluates the Theorem 13 cost bound from a
+// generator's stream in one pass.
+func EntropyBoundStream(g Generator) (float64, error) { return workload.EntropyBoundStream(g) }
 
 // Engine is the streaming simulation engine: context cancellation,
 // warmup/measurement windows, per-window cost time-series, routing
@@ -382,6 +470,10 @@ func TraceSpecOf(tr Trace) TraceSpec {
 	return TraceSpec{Name: tr.Name, N: tr.N, Reqs: tr.Reqs}
 }
 
+// TraceSpecFor adapts a streaming Generator to a grid TraceSpec: every
+// cell serving it takes its own independent pass over the shared stream.
+func TraceSpecFor(g Generator) TraceSpec { return engine.TraceSpecFor(g) }
+
 // NetworkDef declares one network design by registered kind — the
 // serializable counterpart of NetworkSpec. Builtin kinds: kary, centroid,
 // splaynet, lazy, full, centroid-tree, uniform-opt; see the field docs on
@@ -396,7 +488,9 @@ type PolicyDef = spec.PolicyDef
 
 // TraceDef declares one workload trace by registered kind — the
 // serializable counterpart of TraceSpec. Builtin kinds: uniform, temporal,
-// hpc, projector, facebook, zipf, csv.
+// hpc, projector, facebook, zipf, hotspot, exponential, latest,
+// sequential, histogram, csv, and phased (a list of sub-trace defs chained
+// into one drifting stream).
 type TraceDef = spec.TraceDef
 
 // EngineDef is the serializable subset of the engine options (workers,
@@ -406,8 +500,9 @@ type EngineDef = spec.EngineDef
 // Experiment is a complete, JSON-round-trippable grid description:
 // Networks × Traces evaluated under Engine options. Encode writes the
 // canonical document; DecodeExperiment parses and validates one; Resolve
-// turns it into RunGrid/Stream inputs, materializing each trace exactly
-// once however many grid cells share it.
+// turns it into RunGrid/Stream inputs, constructing each trace's
+// streaming generator exactly once however many grid cells share it (each
+// cell takes its own pass; no trace is materialized).
 type Experiment = spec.Experiment
 
 // Cell is one finished cell of a streamed grid (see Stream).
@@ -421,9 +516,11 @@ func RegisterNetwork(kind string, build func(NetworkDef) (NetworkSpec, error)) {
 }
 
 // RegisterTrace adds a trace kind to the experiment taxonomy. The builder
-// is called exactly once per experiment resolution. It panics on a
-// duplicate kind.
-func RegisterTrace(kind string, build func(TraceDef) (Trace, error)) {
+// resolves a def to its streaming Generator and is called exactly once
+// per experiment resolution — the generator is the shared factory whose
+// passes the grid cells stream, so it must be deterministic (every pass
+// identical). It panics on a duplicate kind.
+func RegisterTrace(kind string, build func(TraceDef) (Generator, error)) {
 	spec.RegisterTrace(kind, build)
 }
 

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_PR7.json, the machine-readable perf baseline of the
+# streaming trace pipeline PR: the BenchmarkGenerate grid (one full
+# streaming pass per op for every generator kind — the enforced contract
+# is the constant per-pass allocation profile: generators allocate their
+# rng, permutations and samplers once, never per request), the
+# materializing BenchmarkCollect counterpart, and the engine's streaming
+# serve paths (RunGen over generators on the sequential and batch paths).
+# Schema ksan-bench/v1, produced by cmd/benchjson.
+#
+# Like BENCH_PR6.json this baseline is enforced, not advisory: CI
+# regenerates a candidate at a fixed iteration count and gates it with
+# cmd/benchdiff (allocation and bytes contracts cross-machine; ns/op is
+# only meaningful when diffing two runs of this script on one machine).
+#
+# Usage: scripts/bench_pr7.sh [output.json]
+#   BENCHTIME=1x scripts/bench_pr7.sh /tmp/check.json   # CI schema check
+#   BENCHTIME=20x scripts/bench_pr7.sh /tmp/cand.json   # CI benchdiff candidate
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR7.json}"
+benchtime="${BENCHTIME:-1s}"
+count="${COUNT:-1}" # repeats; benchjson keeps each benchmark's min
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+run() { # run <package> <bench regex> <benchtime> <count>
+  go test -run '^$' -bench "$2" -benchmem -benchtime "$3" -count "$4" "$1" >>"$tmp"
+}
+
+# One full streaming pass per op, every generator kind, plus the
+# materializing Collect for the memory-story comparison.
+run ./internal/workload 'BenchmarkGenerate|BenchmarkCollect' "$benchtime" "$count"
+# The engine's serve paths, which now pull from streams.
+run ./internal/engine 'BenchmarkRunGenStream' "$benchtime" "$count"
+
+go run ./cmd/benchjson <"$tmp" >"$out"
+echo "bench_pr7: wrote $out ($(grep -c '"ns_per_op"' "$out") benchmarks at -benchtime=$benchtime)" >&2
