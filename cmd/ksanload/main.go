@@ -1,0 +1,225 @@
+// Command ksanload drives the concurrent sharded serving layer
+// (internal/serve) against one network × trace pair described by a JSON
+// load document, and reports aggregate throughput, routing/adjustment
+// cost, and closed-loop latency percentiles from mergeable streaming
+// histograms.
+//
+// Usage:
+//
+//	ksanload -load file.json [-format table|json|csv]
+//	         [-shards S] [-clients C] [-target OPS] [-warmup N]
+//	         [-max-requests M] [-duration 30s] [-latency-sample K]
+//	         [-rate] [-strip-timing] [-cpuprofile file]
+//
+// The load document (see DESIGN.md §11 and testdata/golden_load.json for
+// a sample) holds a network def, a trace def, and a serve block; every
+// serve flag above overrides the corresponding document field when set.
+// -rate streams live aggregate requests/sec samples to stderr once per
+// second while the run is in flight.
+//
+// -format picks the result encoding: "table" renders a human summary
+// (aggregate totals, latency and routing percentiles, per-shard rows),
+// "json" emits the run as one report.Record JSON line, "csv" as a CSV
+// row — the same stable external schema the experiment sinks write, so
+// serving results land in the same analysis pipelines as engine grids.
+//
+// -strip-timing zeroes every wall-clock-derived field (elapsed,
+// throughput, latency percentiles) in json/csv output, leaving only the
+// deterministic cost fields; with one shard and one client the remaining
+// record is bit-reproducible across runs and machines, which is what the
+// checked-in golden pins in CI.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"runtime/pprof"
+	"time"
+
+	"github.com/ksan-net/ksan/internal/report"
+	"github.com/ksan-net/ksan/internal/serve"
+	"github.com/ksan-net/ksan/internal/spec"
+)
+
+func main() {
+	load := flag.String("load", "", "JSON load document to run (required)")
+	format := flag.String("format", "table", "result format: table, json or csv")
+	shards := flag.Int("shards", -1, "override: number of shards")
+	clients := flag.Int("clients", -1, "override: number of closed-loop client routines")
+	target := flag.Float64("target", -1, "override: aggregate target throughput, requests/sec (0 = unthrottled)")
+	warmup := flag.Int("warmup", -1, "override: per-client warmup requests excluded from measurement")
+	maxRequests := flag.Int64("max-requests", -1, "override: total request budget (0 = the whole stream)")
+	duration := flag.Duration("duration", -1, "override: wall-clock run cap (0 = none)")
+	latencySample := flag.Int("latency-sample", 0, "override: measure latency on every k-th request (-1 = off, 0 = keep document setting)")
+	rate := flag.Bool("rate", false, "stream live aggregate requests/sec to stderr")
+	stripTiming := flag.Bool("strip-timing", false, "zero wall-clock-derived fields in json/csv output (deterministic golden mode)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	flag.Parse()
+
+	code, err := run(*load, *format, *shards, *clients, *target, *warmup,
+		*maxRequests, *duration, *latencySample, *rate, *stripTiming, *cpuprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ksanload:", err)
+	}
+	os.Exit(code)
+}
+
+func run(load, format string, shards, clients int, target float64, warmup int,
+	maxRequests int64, duration time.Duration, latencySample int,
+	rate, stripTiming bool, cpuprofile string) (int, error) {
+	if load == "" {
+		return 2, fmt.Errorf("-load is required (a JSON load document; see DESIGN.md §11)")
+	}
+	switch format {
+	case "table", "json", "csv":
+	default:
+		return 2, fmt.Errorf("unknown -format %q (want table, json or csv)", format)
+	}
+
+	f, err := os.Open(load)
+	if err != nil {
+		return 2, err
+	}
+	doc, err := spec.DecodeLoad(f)
+	f.Close()
+	if err != nil {
+		return 2, err
+	}
+	mk, gen, cfg, err := doc.Resolve()
+	if err != nil {
+		return 2, err
+	}
+
+	// Flag overrides beat the document's serve block.
+	if shards >= 0 {
+		cfg.Shards = shards
+	}
+	if clients >= 0 {
+		cfg.Clients = clients
+	}
+	if target >= 0 {
+		cfg.TargetOps = target
+	}
+	if warmup >= 0 {
+		cfg.Warmup = warmup
+	}
+	if maxRequests >= 0 {
+		cfg.MaxRequests = maxRequests
+	}
+	if duration >= 0 {
+		cfg.Duration = duration
+	}
+	switch {
+	case latencySample > 0:
+		cfg.LatencySample = latencySample
+	case latencySample == -1:
+		cfg.LatencySample = 0
+	}
+	if rate {
+		cfg.OnRate = func(s serve.RateSample) {
+			fmt.Fprintf(os.Stderr, "[%8s] %d requests, %.0f req/s\n",
+				s.Elapsed.Round(time.Millisecond), s.Requests, s.Rate)
+		}
+	}
+
+	if cpuprofile != "" {
+		pf, err := os.Create(cpuprofile)
+		if err != nil {
+			return 2, err
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			pf.Close()
+			return 2, err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			pf.Close()
+		}()
+	}
+
+	stats, err := serve.Run(context.Background(), cfg, mk, gen)
+	if err != nil {
+		return 1, err
+	}
+
+	switch format {
+	case "table":
+		printTable(os.Stdout, stats)
+	case "json":
+		sink := report.NewJSONLSink(os.Stdout)
+		if err := sink.Record(recordOf(stats, stripTiming)); err != nil {
+			return 1, err
+		}
+		if err := sink.Flush(); err != nil {
+			return 1, err
+		}
+	case "csv":
+		sink := report.NewCSVSink(os.Stdout)
+		if err := sink.Record(recordOf(stats, stripTiming)); err != nil {
+			return 1, err
+		}
+		if err := sink.Flush(); err != nil {
+			return 1, err
+		}
+	}
+	return 0, nil
+}
+
+// recordOf flattens a serving run into the sinks' stable external schema.
+// Latency percentiles convert from the histogram's nanoseconds to the
+// schema's microseconds.
+func recordOf(s *serve.Stats, stripTiming bool) report.Record {
+	rec := report.Record{
+		Network:        s.Network,
+		Trace:          s.Trace,
+		Requests:       s.Requests,
+		Routing:        s.Routing,
+		Adjust:         s.Adjust,
+		Total:          s.Total(),
+		WarmupRequests: s.WarmupRequests,
+		WarmupRouting:  s.WarmupRouting,
+		WarmupAdjust:   s.WarmupAdjust,
+		P50Routing:     s.RoutingHist.Percentile(0.50),
+		P99Routing:     s.RoutingHist.Percentile(0.99),
+		Shards:         s.Shards,
+		Clients:        s.Clients,
+		CrossShard:     s.CrossShard,
+	}
+	if s.Requests > 0 {
+		rec.AvgRouting = float64(s.Routing) / float64(s.Requests)
+	}
+	if !stripTiming {
+		rec.ElapsedSeconds = s.Elapsed.Seconds()
+		rec.Throughput = s.Throughput
+		rec.P50LatencyUs = s.LatencyHist.Percentile(0.50) / 1e3
+		rec.P99LatencyUs = s.LatencyHist.Percentile(0.99) / 1e3
+		rec.MaxLatencyUs = float64(s.LatencyHist.Max()) / 1e3
+	}
+	return rec
+}
+
+// printTable renders the human summary: aggregate totals, percentiles,
+// and one row per shard.
+func printTable(w *os.File, s *serve.Stats) {
+	fmt.Fprintf(w, "network   %s\ntrace     %s\n", s.Network, s.Trace)
+	fmt.Fprintf(w, "shards    %d    clients %d\n", s.Shards, s.Clients)
+	fmt.Fprintf(w, "requests  %d (warmup %d)    cross-shard %d (warmup %d)\n",
+		s.Requests, s.WarmupRequests, s.CrossShard, s.WarmupCross)
+	fmt.Fprintf(w, "routing   %d    adjust %d    total %d\n", s.Routing, s.Adjust, s.Total())
+	fmt.Fprintf(w, "elapsed   %s    throughput %.0f req/s\n", s.Elapsed.Round(time.Millisecond), s.Throughput)
+	if s.RoutingHist.Count() > 0 {
+		fmt.Fprintf(w, "routing cost   p50 %.0f  p99 %.0f  max %d\n",
+			s.RoutingHist.Percentile(0.50), s.RoutingHist.Percentile(0.99), s.RoutingHist.Max())
+	}
+	if s.LatencyHist.Count() > 0 {
+		fmt.Fprintf(w, "latency (µs)   p50 %.1f  p99 %.1f  max %.1f   (%d sampled)\n",
+			s.LatencyHist.Percentile(0.50)/1e3, s.LatencyHist.Percentile(0.99)/1e3,
+			float64(s.LatencyHist.Max())/1e3, s.LatencyHist.Count())
+	}
+	fmt.Fprintf(w, "\n%6s %8s %12s %14s %14s\n", "shard", "nodes", "requests", "routing", "adjust")
+	for _, ps := range s.PerShard {
+		fmt.Fprintf(w, "%6d %8d %12d %14d %14d\n", ps.Shard, ps.Nodes, ps.Requests, ps.Routing, ps.Adjust)
+	}
+}

@@ -71,6 +71,17 @@ func (t TraceSpec) Label() string {
 // still works but yields only a generic message).
 func FailedNetwork(err error) sim.Network { return &failedNetwork{err: err} }
 
+// AsFailed returns the construction error a FailedNetwork carries, or
+// nil for a real network — the unwrapping hook for consumers that build
+// networks through a NetworkSpec.Make outside a grid (the serving layer
+// has one network def and wants the cause as a plain error).
+func AsFailed(net sim.Network) error {
+	if f, ok := net.(*failedNetwork); ok {
+		return f.err
+	}
+	return nil
+}
+
 // failedNetwork is inert: the engine unwraps it before serving anything.
 type failedNetwork struct{ err error }
 

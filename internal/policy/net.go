@@ -269,8 +269,25 @@ func (p *Net) Batchable() bool {
 // concurrently against the O(1) distance oracle, exactly like
 // statictree.Net. It panics on a composition that can adjust.
 func (p *Net) ServeBatch(reqs []sim.Request) sim.BatchCost {
-	if !p.Batchable() {
+	ix, ok := p.StaticOracle()
+	if !ok {
 		panic("policy: ServeBatch on a composition that can adjust")
+	}
+	return ix.ServeBatch(reqs)
+}
+
+// StaticOracle is the shard-safe serving hook (internal/serve): for a
+// frozen composition it returns the distance oracle over the — provably
+// permanent — current topology, building it on first use. The oracle is
+// immutable from then on, so any number of goroutines may query it
+// concurrently without touching the net itself; callers must not mix
+// that with Serve calls from other goroutines (Serve mutates streak and
+// oracle state even when the trigger never fires). A composition whose
+// trigger can still fire reports false: its topology is only static
+// between firings, and only its owner may serve it.
+func (p *Net) StaticOracle() (*statictree.DistIndex, bool) {
+	if !p.Batchable() {
+		return nil, false
 	}
 	p.batchOnce.Do(func() {
 		if !p.oracleLive {
@@ -281,5 +298,5 @@ func (p *Net) ServeBatch(reqs []sim.Request) sim.BatchCost {
 			p.oracleLive = true
 		}
 	})
-	return p.oracle.ServeBatch(reqs)
+	return p.oracle, true
 }

@@ -49,6 +49,17 @@ type Record struct {
 	ElapsedSeconds float64        `json:"elapsed_seconds"`
 	Throughput     float64        `json:"throughput"`
 	Series         []WindowRecord `json:"series,omitempty"`
+
+	// Serving-layer fields (cmd/ksanload): shard/client topology, cross-
+	// shard request count, and closed-loop latency percentiles in
+	// microseconds from the mergeable streaming histograms. Zero (and
+	// omitted from JSON) for engine grid cells.
+	Shards       int     `json:"shards,omitempty"`
+	Clients      int     `json:"clients,omitempty"`
+	CrossShard   int64   `json:"cross_shard,omitempty"`
+	P50LatencyUs float64 `json:"p50_latency_us,omitempty"`
+	P99LatencyUs float64 `json:"p99_latency_us,omitempty"`
+	MaxLatencyUs float64 `json:"max_latency_us,omitempty"`
 }
 
 // RecordOf flattens a finished cell into the external schema.
@@ -92,8 +103,15 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 
 // Cell writes one cell as a JSON line.
 func (s *JSONLSink) Cell(c engine.Cell) error {
-	if err := s.enc.Encode(RecordOf(c)); err != nil {
-		return fmt.Errorf("report: encoding cell (%d,%d): %w", c.I, c.J, err)
+	return s.Record(RecordOf(c))
+}
+
+// Record writes one pre-built record as a JSON line — the entry point for
+// producers whose results do not come from the engine (the serving layer
+// flattens its Stats into Records directly).
+func (s *JSONLSink) Record(rec Record) error {
+	if err := s.enc.Encode(rec); err != nil {
+		return fmt.Errorf("report: encoding record (%d,%d): %w", rec.I, rec.J, err)
 	}
 	return nil
 }
@@ -113,6 +131,8 @@ var csvHeader = []string{
 	"p50_routing", "p99_routing", "link_churn",
 	"elapsed_seconds", "throughput",
 	"window_start", "window_end",
+	"shards", "clients", "cross_shard",
+	"p50_latency_us", "p99_latency_us", "max_latency_us",
 }
 
 // CSVSink writes cells (and their window time-series) as tidy CSV rows.
@@ -131,13 +151,18 @@ func NewCSVSink(w io.Writer) *CSVSink {
 // Cell writes the cell's aggregate row followed by one row per window
 // sample.
 func (s *CSVSink) Cell(c engine.Cell) error {
+	return s.Record(RecordOf(c))
+}
+
+// Record writes one pre-built record as CSV rows — the non-engine entry
+// point matching JSONLSink.Record.
+func (s *CSVSink) Record(rec Record) error {
 	if !s.header {
 		if err := s.cw.Write(csvHeader); err != nil {
 			return fmt.Errorf("report: writing csv header: %w", err)
 		}
 		s.header = true
 	}
-	rec := RecordOf(c)
 	itoa := strconv.Itoa
 	i64 := func(v int64) string { return strconv.FormatInt(v, 10) }
 	f64 := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -148,9 +173,11 @@ func (s *CSVSink) Cell(c engine.Cell) error {
 		f64(rec.P50Routing), f64(rec.P99Routing), i64(rec.LinkChurn),
 		f64(rec.ElapsedSeconds), f64(rec.Throughput),
 		"", "",
+		itoa(rec.Shards), itoa(rec.Clients), i64(rec.CrossShard),
+		f64(rec.P50LatencyUs), f64(rec.P99LatencyUs), f64(rec.MaxLatencyUs),
 	}
 	if err := s.cw.Write(row); err != nil {
-		return fmt.Errorf("report: writing cell (%d,%d): %w", c.I, c.J, err)
+		return fmt.Errorf("report: writing cell (%d,%d): %w", rec.I, rec.J, err)
 	}
 	for _, w := range rec.Series {
 		wrow := []string{
@@ -160,9 +187,11 @@ func (s *CSVSink) Cell(c engine.Cell) error {
 			"", "", "",
 			"", "",
 			itoa(w.Start), itoa(w.End),
+			"", "", "",
+			"", "", "",
 		}
 		if err := s.cw.Write(wrow); err != nil {
-			return fmt.Errorf("report: writing window row of cell (%d,%d): %w", c.I, c.J, err)
+			return fmt.Errorf("report: writing window row of cell (%d,%d): %w", rec.I, rec.J, err)
 		}
 	}
 	return nil

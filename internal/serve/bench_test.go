@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/ksan-net/ksan/internal/workload"
+)
+
+// BenchmarkLoad measures end-to-end serving throughput over the shard
+// grid the EXPERIMENTS.md table reports (clients = shards, frozen
+// network, cheap deterministic trace so serve work dominates generation).
+// One op = one full run over the stream; requests/sec is b.N-independent,
+// so per-op time divided by the stream length is the serve-path cost.
+func BenchmarkLoad(b *testing.B) {
+	const n, m = 1024, 200_000
+	for _, s := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("frozen/s=%d", s), func(b *testing.B) {
+			gen := workload.SequentialGen(n, m)
+			cfg := Config{Shards: s, Clients: s}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				stats, err := Run(context.Background(), cfg, mkFrozen, gen)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.Requests != m {
+					b.Fatalf("served %d, want %d", stats.Requests, m)
+				}
+			}
+			b.SetBytes(0)
+			b.ReportMetric(float64(m)/(float64(b.Elapsed().Nanoseconds())/float64(b.N)/1e9), "req/s")
+		})
+	}
+	// The adjusting grid exercises the owner-loop path end to end.
+	for _, s := range []int{1, 4} {
+		b.Run(fmt.Sprintf("adjusting/s=%d", s), func(b *testing.B) {
+			gen := workload.SequentialGen(n, m/4)
+			cfg := Config{Shards: s, Clients: s}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(context.Background(), cfg, mkKary, gen); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHistObserve is the per-request measurement overhead: one
+// Observe on the hot path.
+func BenchmarkHistObserve(b *testing.B) {
+	var h Hist
+	h.Observe(0xfffff) // pre-grow the bucket array
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i) & 0xfffff)
+	}
+}
+
+// BenchmarkHistMerge is the end-of-run cost of folding one client
+// histogram into the aggregate.
+func BenchmarkHistMerge(b *testing.B) {
+	var src Hist
+	for v := int64(0); v < 1<<20; v += 97 {
+		src.Observe(v)
+	}
+	var dst Hist
+	dst.Merge(&src) // pre-grow so the measured loop is allocation-free
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.Merge(&src)
+	}
+}
+
+func BenchmarkHistPercentile(b *testing.B) {
+	var h Hist
+	for v := int64(0); v < 1<<20; v += 13 {
+		h.Observe(v)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Percentile(0.99)
+	}
+}
+
+// BenchmarkRoute is the router's per-request cost (must stay
+// allocation-free: the hot path calls it once per request).
+func BenchmarkRoute(b *testing.B) {
+	p, err := NewPartition(1024, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var r Route
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := 1 + i%1024
+		v := 1 + (i*7)%1024
+		p.Route(u, v, &r)
+	}
+}

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/ksan-net/ksan/internal/sim"
+	"github.com/ksan-net/ksan/internal/workload"
+)
+
+// counterFlush is how many completed requests a client accumulates
+// locally before flushing them into the shared live counter: the live
+// requests/sec display costs one atomic add per this many requests
+// instead of one per request.
+const counterFlush = 256
+
+// shardAcc accumulates one client's view of one shard: the local serves
+// it routed there (warmup included — these are the totals the per-shard
+// sequential-equivalence property compares against a replay).
+type shardAcc struct {
+	requests, routing, adjust int64
+	hist                      Hist
+}
+
+// clientAcc is everything one client routine measures. Clients never
+// share accumulators — each routine observes into its own and the pool
+// merges them after the run drains — so measurement adds no locks to the
+// request hot path.
+type clientAcc struct {
+	requests, routing, adjust, cross     int64 // measurement region
+	warmRequests, warmRouting, warmAdjust, warmCross int64
+	routingHist, latencyHist             Hist
+	perShard                             []shardAcc
+	err                                  error
+}
+
+// client is one closed-loop load routine: it iterates its private pass of
+// the workload stream (an independent SplitGen substream), serves each
+// request to completion before drawing the next, and paces itself to its
+// share of the aggregate target throughput.
+type client struct {
+	pool   *pool
+	id     int
+	gen    workload.Generator
+	budget int64 // requests this client may serve; <0 = until stream end
+	acc    clientAcc
+	reply  chan sim.Cost
+}
+
+// serveLocal serves one local (half-)request on a shard: lock-free
+// through the distance oracle when the shard is frozen, through the owner
+// loop otherwise.
+func (c *client) serveLocal(s *shard, a, b int) sim.Cost {
+	if s.oracle != nil {
+		if a == b {
+			return sim.Cost{}
+		}
+		return sim.Cost{Routing: s.oracle.Dist(a, b)}
+	}
+	s.ch <- request{u: a, v: b, reply: c.reply}
+	return <-c.reply
+}
+
+// run drives the client loop. It returns normally on stream end, budget
+// exhaustion, or a pool-wide stop (duration elapsed or context
+// cancelled); a stream error is terminal and recorded in the accumulator.
+func (c *client) run() {
+	p := c.pool
+	c.acc.perShard = make([]shardAcc, p.part.S)
+	c.reply = make(chan sim.Cost, 1)
+
+	var interval time.Duration
+	if p.cfg.TargetOps > 0 {
+		perClient := p.cfg.TargetOps / float64(p.cfg.Clients)
+		interval = time.Duration(float64(time.Second) / perClient)
+	}
+	sample := p.cfg.LatencySample
+	warmup := int64(p.cfg.Warmup)
+
+	var served, unflushed int64
+	start := time.Now()
+	var r Route
+	for rq, err := range c.gen.Requests() {
+		if err != nil {
+			c.acc.err = err
+			break
+		}
+		if c.budget >= 0 && served >= c.budget {
+			break
+		}
+		if p.stop.Load() {
+			break
+		}
+		if interval > 0 {
+			// Schedule-based pacing (the YCSB "throttle to target"
+			// loop): sleep until this request's release time, computed
+			// from the start so that transient stalls are caught up.
+			if wait := time.Until(start.Add(time.Duration(served) * interval)); wait > 0 {
+				time.Sleep(wait)
+			}
+		}
+
+		p.part.Route(rq.Src, rq.Dst, &r)
+		timed := sample > 0 && served%int64(sample) == 0
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
+		}
+		c1 := c.serveLocal(p.shards[r.S1], r.A1, r.B1)
+		var c2 sim.Cost
+		routing, adjust := c1.Routing, c1.Adjust
+		if r.Cross {
+			c2 = c.serveLocal(p.shards[r.S2], r.A2, r.B2)
+			routing += InterShardHop + c2.Routing
+			adjust += c2.Adjust
+		}
+		var lat int64
+		if timed {
+			lat = int64(time.Since(t0))
+		}
+
+		sa := &c.acc.perShard[r.S1]
+		sa.requests++
+		sa.routing += c1.Routing
+		sa.adjust += c1.Adjust
+		sa.hist.Observe(c1.Routing)
+		if r.Cross {
+			sa2 := &c.acc.perShard[r.S2]
+			sa2.requests++
+			sa2.routing += c2.Routing
+			sa2.adjust += c2.Adjust
+			sa2.hist.Observe(c2.Routing)
+		}
+		if served < warmup {
+			c.acc.warmRequests++
+			c.acc.warmRouting += routing
+			c.acc.warmAdjust += adjust
+			if r.Cross {
+				c.acc.warmCross++
+			}
+		} else {
+			c.acc.requests++
+			c.acc.routing += routing
+			c.acc.adjust += adjust
+			if r.Cross {
+				c.acc.cross++
+			}
+			c.acc.routingHist.Observe(routing)
+			if timed {
+				c.acc.latencyHist.Observe(lat)
+			}
+		}
+
+		served++
+		unflushed++
+		if unflushed == counterFlush {
+			p.served.Add(unflushed)
+			unflushed = 0
+		}
+	}
+	if unflushed > 0 {
+		p.served.Add(unflushed)
+	}
+}
+
+// pool is the shared run state of one serving run.
+type pool struct {
+	cfg    Config
+	part   *Partition
+	shards []*shard
+	stop   atomic.Bool
+	served atomic.Int64
+}

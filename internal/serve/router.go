@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"fmt"
+
+	"github.com/ksan-net/ksan/internal/sim"
+)
+
+// InterShardHop is the link cost charged for crossing the shard backbone:
+// shards are modelled as trees hanging off a single inter-shard exchange,
+// so a cross-shard request pays one backbone hop between the two gateway
+// nodes on top of its two intra-shard path segments (the cost rule below).
+const InterShardHop = 1
+
+// Partition hash-partitions the global node space 1..n across S shards.
+// It is a pure function of (n, S): the shard of a node is derived from a
+// fixed 64-bit mix of its id, so every run — and every process — agrees
+// on the layout without coordination. Within a shard, local ids are
+// assigned in increasing global-id order, which makes the S=1 partition
+// the identity mapping (local id == global id); that is what lets the
+// single-shard serving path reproduce the sequential engine bit-for-bit.
+//
+// Each shard's gateway is its local node 1 (the smallest global id it
+// owns): the node wired to the inter-shard backbone.
+//
+// The cost rule (DESIGN.md §11): a request (u,v) with both endpoints on
+// one shard is a single local request (lu,lv) there, charged that shard's
+// serve cost. A cross-shard request splits into the source half (lu →
+// gateway) on u's shard, one InterShardHop on the backbone, and the
+// destination half (gateway → lv) on v's shard; each half is an ordinary
+// serve on its shard (it feeds that shard's trigger and adjuster), and
+// the halves are always served source-first. A half whose local endpoint
+// is the gateway itself is a self-loop, which serve paths charge nothing
+// for and triggers never see.
+type Partition struct {
+	S     int
+	n     int
+	shard []int32 // 1..n → owning shard
+	local []int32 // 1..n → local id on the owning shard
+	sizes []int   // nodes per shard
+}
+
+// mix64 is the splitmix64 finalizer: the fixed node-id hash of the
+// partition function.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NewPartition builds the partition of nodes 1..n across s shards. Every
+// shard must end up with at least two nodes (a one-node shard cannot form
+// a tree network worth serving); the hash keeps shards balanced to within
+// the usual multinomial fluctuation, so this only fails when n is small
+// relative to s.
+func NewPartition(n, s int) (*Partition, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("serve: partition needs n >= 2, got %d", n)
+	}
+	if s < 1 {
+		return nil, fmt.Errorf("serve: partition needs shards >= 1, got %d", s)
+	}
+	p := &Partition{
+		S:     s,
+		n:     n,
+		shard: make([]int32, n+1),
+		local: make([]int32, n+1),
+		sizes: make([]int, s),
+	}
+	for id := 1; id <= n; id++ {
+		sh := 0
+		if s > 1 {
+			sh = int(mix64(uint64(id)) % uint64(s))
+		}
+		p.shard[id] = int32(sh)
+		p.sizes[sh]++
+		p.local[id] = int32(p.sizes[sh])
+	}
+	for sh, size := range p.sizes {
+		if size < 2 {
+			return nil, fmt.Errorf("serve: partition leaves shard %d with %d node(s) (n=%d, shards=%d); use fewer shards or more nodes", sh, size, n, s)
+		}
+	}
+	return p, nil
+}
+
+// N returns the global node count.
+func (p *Partition) N() int { return p.n }
+
+// ShardOf returns the shard owning global node id.
+func (p *Partition) ShardOf(id int) int { return int(p.shard[id]) }
+
+// LocalOf returns node id's local id on its owning shard.
+func (p *Partition) LocalOf(id int) int { return int(p.local[id]) }
+
+// Size returns the node count of shard sh.
+func (p *Partition) Size(sh int) int { return p.sizes[sh] }
+
+// Route is the routed form of one global request: either a single local
+// request on one shard, or the two gateway halves of a cross-shard pair.
+type Route struct {
+	Cross bool
+	// S1 serves the local request (A1, B1): the whole request when not
+	// Cross, the source half (local u → gateway) when Cross.
+	S1     int
+	A1, B1 int
+	// S2 serves the destination half (gateway → local v); meaningful only
+	// when Cross.
+	S2     int
+	A2, B2 int
+}
+
+// Route maps the global request (u,v) onto shards, writing the result
+// into r (caller-owned, so the hot path allocates nothing).
+func (p *Partition) Route(u, v int, r *Route) {
+	s1, s2 := int(p.shard[u]), int(p.shard[v])
+	if s1 == s2 {
+		*r = Route{S1: s1, A1: int(p.local[u]), B1: int(p.local[v])}
+		return
+	}
+	*r = Route{
+		Cross: true,
+		S1:    s1, A1: int(p.local[u]), B1: 1,
+		S2: s2, A2: 1, B2: int(p.local[v]),
+	}
+}
+
+// Project splits a global request sequence into the per-shard local
+// request sequences the router would dispatch, in global-stream order —
+// the reference the sequential-equivalence property is stated against: a
+// serving run with one client must produce, on every shard, exactly the
+// costs of serving Project's subsequence for that shard on a fresh
+// identical network. Cross-shard pairs contribute their source half then
+// their destination half, matching the router's source-first rule.
+func (p *Partition) Project(reqs []sim.Request) [][]sim.Request {
+	out := make([][]sim.Request, p.S)
+	var r Route
+	for _, rq := range reqs {
+		p.Route(rq.Src, rq.Dst, &r)
+		out[r.S1] = append(out[r.S1], sim.Request{Src: r.A1, Dst: r.B1})
+		if r.Cross {
+			out[r.S2] = append(out[r.S2], sim.Request{Src: r.A2, Dst: r.B2})
+		}
+	}
+	return out
+}

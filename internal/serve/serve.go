@@ -1,0 +1,285 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/ksan-net/ksan/internal/sim"
+	"github.com/ksan-net/ksan/internal/workload"
+)
+
+// Config parameterizes one serving run. The zero value means: one shard,
+// as many clients as shards, unthrottled, no warmup, serve the stream to
+// its end, no latency sampling, no live-rate reporting.
+type Config struct {
+	// Shards is the number of node-space partitions (>= 1; 0 means 1).
+	Shards int
+	// Clients is the number of closed-loop client routines (0 means one
+	// per shard). Each client iterates its own round-robin substream of
+	// the workload (workload.SplitGen), so request generation needs no
+	// locks; the cost is that every client scans the full underlying
+	// stream to extract its share (generators are O(ns)/request, so this
+	// is generation work, not serve-path work).
+	Clients int
+	// TargetOps throttles the aggregate offered load to this many
+	// requests/sec, spread evenly across clients (0 = unthrottled).
+	TargetOps float64
+	// Warmup is the number of requests each client serves before its
+	// measurement region begins. Warmup requests adjust network state and
+	// are excluded from measured totals and histograms (reported
+	// separately); note this is per client routine, not a global prefix —
+	// with one client the two coincide.
+	Warmup int
+	// MaxRequests caps the total requests served across all clients
+	// (split evenly; 0 = serve every client's substream to its end).
+	MaxRequests int64
+	// Duration stops the run after this much wall-clock time (0 = no
+	// limit). Stopping by duration is a normal completion, not an error.
+	Duration time.Duration
+	// LatencySample measures closed-loop request latency on every k-th
+	// request of each client (1 = every request, 0 = latency off). The
+	// routing-cost histograms are always exact and unsampled.
+	LatencySample int
+	// RecordLocal makes every shard record the local request sequence it
+	// processed, and forces all shards — frozen included — through their
+	// owner loops so the sequence is well-defined. Test instrumentation
+	// for the sequential-equivalence property; leave off under load.
+	RecordLocal bool
+	// OnRate, when set, receives a live aggregate-throughput sample every
+	// RateEvery (default 1s) from a reporter goroutine.
+	OnRate    func(RateSample)
+	RateEvery time.Duration
+}
+
+// RateSample is one live-throughput report.
+type RateSample struct {
+	Elapsed  time.Duration
+	Requests int64   // requests completed since the run started
+	Rate     float64 // requests/sec since the previous sample
+}
+
+// ShardStats is one shard's serving totals: every local serve it
+// performed (gateway halves included, warmup included — these are the
+// raw sequential-semantics totals the equivalence property pins).
+type ShardStats struct {
+	Shard    int
+	Nodes    int
+	Requests int64 // local serve calls (a cross-shard request counts on both shards)
+	Routing  int64
+	Adjust   int64
+	Hist     *Hist // local serve routing costs
+	// Local is the processed local request sequence (RecordLocal runs
+	// only; nil otherwise).
+	Local []sim.Request
+}
+
+// Stats aggregates a serving run. The measurement region excludes each
+// client's warmup prefix; warmup totals are reported separately, mirroring
+// the engine's Result shape. Cross-shard requests charge their two local
+// path segments plus InterShardHop, so aggregate Routing exceeds the sum
+// of per-shard Routing by exactly InterShardHop per cross-shard request.
+type Stats struct {
+	Network string
+	Trace   string
+	Shards  int
+	Clients int
+
+	Requests   int64 // measurement region
+	Routing    int64
+	Adjust     int64
+	CrossShard int64
+
+	WarmupRequests int64
+	WarmupRouting  int64
+	WarmupAdjust   int64
+	WarmupCross    int64
+
+	RoutingHist *Hist // full per-request routing cost (hop included), measured region
+	LatencyHist *Hist // sampled closed-loop latency, nanoseconds, measured region
+
+	PerShard []ShardStats
+
+	Elapsed    time.Duration
+	Throughput float64 // requests/sec, warmup included (the engine's convention)
+}
+
+// Total returns measured routing plus adjustment cost.
+func (s *Stats) Total() int64 { return s.Routing + s.Adjust }
+
+// Run executes one serving run: partition the node space of gen across
+// cfg.Shards shards, build one network per shard with mk (sized to the
+// shard's node count), and drive the shards from cfg.Clients closed-loop
+// client routines until the stream, the budget, the duration, or ctx ends.
+//
+// Determinism: with one shard and one client, the serve sequence is
+// exactly the generator stream and the run reproduces the sequential
+// engine bit-for-bit (identity partition, no cross-shard traffic). With
+// one client and S shards, each shard serves Partition.Project's
+// subsequence in order. With C clients, per-shard arrival order
+// interleaves client substreams nondeterministically — but every shard
+// still serves a single well-defined sequence (single-writer loop), which
+// RecordLocal captures for equivalence replay.
+//
+// Cancellation of ctx stops the run and returns the partial Stats
+// together with ctx.Err(); cfg.Duration elapsing is a normal completion.
+func Run(ctx context.Context, cfg Config, mk func(n int) (sim.Network, error), gen workload.Generator) (*Stats, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Clients == 0 {
+		cfg.Clients = cfg.Shards
+	}
+	if cfg.Shards < 1 || cfg.Clients < 1 || cfg.Warmup < 0 || cfg.MaxRequests < 0 ||
+		cfg.TargetOps < 0 || cfg.LatencySample < 0 || cfg.Duration < 0 {
+		return nil, fmt.Errorf("serve: invalid config %+v", cfg)
+	}
+
+	part, err := NewPartition(gen.Nodes(), cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	p := &pool{cfg: cfg, part: part, shards: make([]*shard, cfg.Shards)}
+	for i := range p.shards {
+		net, err := mk(part.Size(i))
+		if err != nil {
+			return nil, fmt.Errorf("serve: building shard %d (%d nodes): %w", i, part.Size(i), err)
+		}
+		s := &shard{id: i, nodes: part.Size(i), net: net, record: cfg.RecordLocal}
+		if !cfg.RecordLocal {
+			if ss, ok := net.(staticServer); ok {
+				if ix, frozen := ss.StaticOracle(); frozen {
+					s.oracle = ix
+				}
+			}
+		}
+		if s.oracle == nil {
+			s.ch = make(chan request, cfg.Clients)
+			s.done = make(chan struct{})
+			go s.run()
+		}
+		p.shards[i] = s
+	}
+
+	// Stop signals: wall-clock duration (normal completion) and context
+	// cancellation (error). Both just flip the flag clients poll.
+	watchDone := make(chan struct{})
+	if cfg.Duration > 0 {
+		t := time.AfterFunc(cfg.Duration, func() { p.stop.Store(true) })
+		defer t.Stop()
+	}
+	go func() {
+		select {
+		case <-ctx.Done():
+			p.stop.Store(true)
+		case <-watchDone:
+		}
+	}()
+
+	var reporterWG sync.WaitGroup
+	if cfg.OnRate != nil {
+		every := cfg.RateEvery
+		if every <= 0 {
+			every = time.Second
+		}
+		reporterWG.Add(1)
+		go func() {
+			defer reporterWG.Done()
+			tick := time.NewTicker(every)
+			defer tick.Stop()
+			start := time.Now()
+			var prev int64
+			var prevAt time.Duration
+			for {
+				select {
+				case <-watchDone:
+					return
+				case <-tick.C:
+					now := time.Since(start)
+					cur := p.served.Load()
+					rate := float64(cur-prev) / (now - prevAt).Seconds()
+					cfg.OnRate(RateSample{Elapsed: now, Requests: cur, Rate: rate})
+					prev, prevAt = cur, now
+				}
+			}
+		}()
+	}
+
+	clients := make([]*client, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range clients {
+		budget := int64(-1)
+		if cfg.MaxRequests > 0 {
+			budget = cfg.MaxRequests / int64(cfg.Clients)
+			if int64(i) < cfg.MaxRequests%int64(cfg.Clients) {
+				budget++
+			}
+		}
+		clients[i] = &client{pool: p, id: i, gen: workload.SplitGen(gen, i, cfg.Clients), budget: budget}
+		wg.Add(1)
+		go func(c *client) {
+			defer wg.Done()
+			c.run()
+		}(clients[i])
+	}
+	wg.Wait()
+	for _, s := range p.shards {
+		if s.ch != nil {
+			close(s.ch)
+			<-s.done
+		}
+	}
+	elapsed := time.Since(start)
+	close(watchDone)
+	reporterWG.Wait()
+
+	stats := &Stats{
+		Network: p.shards[0].net.Name(),
+		Trace:   gen.Label(),
+		Shards:  cfg.Shards,
+		Clients: cfg.Clients,
+		Elapsed: elapsed,
+	}
+	stats.RoutingHist = new(Hist)
+	stats.LatencyHist = new(Hist)
+	stats.PerShard = make([]ShardStats, cfg.Shards)
+	for i, s := range p.shards {
+		stats.PerShard[i] = ShardStats{Shard: i, Nodes: s.nodes, Hist: new(Hist), Local: s.local}
+	}
+	var streamErr error
+	for _, c := range clients {
+		a := &c.acc
+		stats.Requests += a.requests
+		stats.Routing += a.routing
+		stats.Adjust += a.adjust
+		stats.CrossShard += a.cross
+		stats.WarmupRequests += a.warmRequests
+		stats.WarmupRouting += a.warmRouting
+		stats.WarmupAdjust += a.warmAdjust
+		stats.WarmupCross += a.warmCross
+		stats.RoutingHist.Merge(&a.routingHist)
+		stats.LatencyHist.Merge(&a.latencyHist)
+		for sh := range stats.PerShard {
+			ps, as := &stats.PerShard[sh], &a.perShard[sh]
+			ps.Requests += as.requests
+			ps.Routing += as.routing
+			ps.Adjust += as.adjust
+			ps.Hist.Merge(&as.hist)
+		}
+		if a.err != nil && streamErr == nil {
+			streamErr = a.err
+		}
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		stats.Throughput = float64(stats.Requests+stats.WarmupRequests) / secs
+	}
+	if streamErr != nil {
+		return stats, fmt.Errorf("serve: workload stream: %w", streamErr)
+	}
+	if err := ctx.Err(); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}

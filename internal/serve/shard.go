@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"github.com/ksan-net/ksan/internal/sim"
+	"github.com/ksan-net/ksan/internal/statictree"
+)
+
+// staticServer is the shard-safe serving hook: a network whose topology
+// is provably static (a frozen composition) exposes its Euler-tour/RMQ
+// distance oracle, and the serving layer then answers its requests
+// lock-free from the client routines themselves — the oracle is immutable,
+// so concurrent Dist calls need no coordination. policy.Net and
+// statictree.Net implement it; any network that does not (or whose
+// StaticOracle reports false because its trigger can still fire) is
+// served through its shard's owner goroutine instead.
+type staticServer interface {
+	StaticOracle() (*statictree.DistIndex, bool)
+}
+
+// request is one unit of work sent to a shard's owner loop. The reply
+// channel is client-owned and reused across requests (capacity 1), so the
+// closed-loop hot path allocates nothing per request.
+type request struct {
+	u, v  int
+	reply chan sim.Cost
+}
+
+// shard owns one partition of the node space: a private network instance
+// plus the single goroutine allowed to mutate it. All self-adjustment —
+// rotations, trigger state, demand windows, churn scratch — happens
+// inside the owner loop, which is what makes serving concurrent without
+// any locks on network state (the single-writer rule, DESIGN.md §11).
+// Frozen shards additionally carry their distance oracle; clients serve
+// those without ever touching the loop.
+type shard struct {
+	id     int
+	nodes  int
+	net    sim.Network
+	oracle *statictree.DistIndex // non-nil: frozen, clients serve lock-free
+	ch     chan request
+	done   chan struct{}
+	record bool
+	local  []sim.Request // processed local sequence, when record is set
+}
+
+// run is the owner loop: the only goroutine that ever calls Serve on this
+// shard's network. It drains the request channel in arrival order, which
+// defines the shard's local request sequence — the sequence the
+// sequential-equivalence property replays.
+func (s *shard) run() {
+	defer close(s.done)
+	for rq := range s.ch {
+		if s.record {
+			s.local = append(s.local, sim.Request{Src: rq.u, Dst: rq.v})
+		}
+		rq.reply <- s.net.Serve(rq.u, rq.v)
+	}
+}

@@ -1,0 +1,145 @@
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/ksan-net/ksan/internal/engine"
+	"github.com/ksan-net/ksan/internal/serve"
+	"github.com/ksan-net/ksan/internal/sim"
+	"github.com/ksan-net/ksan/internal/workload"
+)
+
+// ServeDef is the serializable configuration of the serving layer
+// (internal/serve): the shard/client topology and the closed-loop load
+// shape. Zero-valued fields mean the serve defaults (one shard, clients =
+// shards, unthrottled, no warmup, full stream, no duration cap, latency
+// sampled on every request).
+type ServeDef struct {
+	Shards          int     `json:"shards,omitempty"`
+	Clients         int     `json:"clients,omitempty"`
+	TargetOps       float64 `json:"target_ops,omitempty"`
+	Warmup          int     `json:"warmup,omitempty"`
+	MaxRequests     int64   `json:"max_requests,omitempty"`
+	DurationSeconds float64 `json:"duration_seconds,omitempty"`
+	// LatencySample measures closed-loop latency on every k-th request
+	// per client; 0 means the default (every request), -1 disables
+	// latency measurement entirely.
+	LatencySample int `json:"latency_sample,omitempty"`
+}
+
+// check validates the block's ranges (strict like every other def: a
+// field outside its domain describes a run the layer cannot execute).
+func (d ServeDef) check() error {
+	if d.Shards < 0 || d.Clients < 0 || d.TargetOps < 0 || d.Warmup < 0 ||
+		d.MaxRequests < 0 || d.DurationSeconds < 0 || d.LatencySample < -1 {
+		return fmt.Errorf("spec: serve block fields must be non-negative (latency_sample >= -1), got %+v", d)
+	}
+	return nil
+}
+
+// Config resolves the def to the serving layer's runtime configuration.
+func (d ServeDef) Config() serve.Config {
+	sample := d.LatencySample
+	switch sample {
+	case 0:
+		sample = 1
+	case -1:
+		sample = 0
+	}
+	return serve.Config{
+		Shards:        d.Shards,
+		Clients:       d.Clients,
+		TargetOps:     d.TargetOps,
+		Warmup:        d.Warmup,
+		MaxRequests:   d.MaxRequests,
+		Duration:      time.Duration(d.DurationSeconds * float64(time.Second)),
+		LatencySample: sample,
+	}
+}
+
+// LoadSpec is the complete description of one serving run — the document
+// cmd/ksanload executes: one network def served on one trace def under a
+// serve block. Like Experiment it is the unit of serialization
+// (Encode/DecodeLoad round-trip through JSON) and validates strictly.
+type LoadSpec struct {
+	Name    string     `json:"name,omitempty"`
+	Network NetworkDef `json:"network"`
+	Trace   TraceDef   `json:"trace"`
+	Serve   ServeDef   `json:"serve,omitempty"`
+}
+
+// Validate checks the document without materializing the trace.
+func (l *LoadSpec) Validate() error {
+	if _, err := l.Network.Spec(); err != nil {
+		return fmt.Errorf("spec: load %q network: %w", l.Name, err)
+	}
+	if err := l.Trace.check(); err != nil {
+		return fmt.Errorf("spec: load %q trace: %w", l.Name, err)
+	}
+	if err := l.Serve.check(); err != nil {
+		return fmt.Errorf("spec: load %q: %w", l.Name, err)
+	}
+	return nil
+}
+
+// Resolve validates the document and returns the per-shard network
+// constructor, the workload stream factory, and the serving
+// configuration. The constructor is the network def's Make sized to each
+// shard's node count; construction failures surface as errors rather
+// than failed-network sentinels, since a serving run has exactly one
+// network def.
+func (l *LoadSpec) Resolve() (func(n int) (sim.Network, error), workload.Generator, serve.Config, error) {
+	if err := l.Validate(); err != nil {
+		return nil, nil, serve.Config{}, err
+	}
+	ns, err := l.Network.Spec()
+	if err != nil {
+		return nil, nil, serve.Config{}, err
+	}
+	gen, err := l.Trace.Resolve()
+	if err != nil {
+		return nil, nil, serve.Config{}, err
+	}
+	mk := func(n int) (sim.Network, error) {
+		net := ns.Make(n)
+		if err := engine.AsFailed(net); err != nil {
+			return nil, err
+		}
+		return net, nil
+	}
+	return mk, gen, l.Serve.Config(), nil
+}
+
+// Encode writes the document as indented JSON.
+func (l *LoadSpec) Encode(w io.Writer) error {
+	b, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		return fmt.Errorf("spec: encoding load %q: %w", l.Name, err)
+	}
+	b = append(b, '\n')
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("spec: writing load %q: %w", l.Name, err)
+	}
+	return nil
+}
+
+// DecodeLoad parses and validates a load document, with the same
+// strictness as Decode: unknown fields and trailing content are rejected.
+func DecodeLoad(r io.Reader) (*LoadSpec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var l LoadSpec
+	if err := dec.Decode(&l); err != nil {
+		return nil, fmt.Errorf("spec: decoding load: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("spec: trailing data after the load document")
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return &l, nil
+}

@@ -1,0 +1,112 @@
+package spec
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ksan-net/ksan/internal/serve"
+)
+
+func validLoad() *LoadSpec {
+	return &LoadSpec{
+		Name:    "t",
+		Network: NetworkDef{Kind: "kary", K: 4},
+		Trace:   TraceDef{Kind: "temporal", N: 64, M: 1000, P: 0.5, Seed: 7},
+		Serve:   ServeDef{Shards: 2, Clients: 3, TargetOps: 100, Warmup: 10, MaxRequests: 500, DurationSeconds: 1.5, LatencySample: 4},
+	}
+}
+
+func TestLoadSpecRoundTrip(t *testing.T) {
+	l := validLoad()
+	var buf bytes.Buffer
+	if err := l.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeLoad(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, l) {
+		t.Errorf("round trip diverged:\n got %+v\nwant %+v", got, l)
+	}
+}
+
+func TestLoadSpecDecodeStrict(t *testing.T) {
+	if _, err := DecodeLoad(strings.NewReader(`{"network":{"kind":"kary","k":4},"trace":{"kind":"uniform","n":8,"m":10},"bogus":1}`)); err == nil {
+		t.Errorf("unknown field must be rejected")
+	}
+	if _, err := DecodeLoad(strings.NewReader(`{"network":{"kind":"kary","k":4},"trace":{"kind":"uniform","n":8,"m":10}} {}`)); err == nil {
+		t.Errorf("trailing data must be rejected")
+	}
+	if _, err := DecodeLoad(strings.NewReader(`{"network":{"kind":"nope"},"trace":{"kind":"uniform","n":8,"m":10}}`)); err == nil {
+		t.Errorf("unknown network kind must be rejected")
+	}
+}
+
+func TestServeDefValidation(t *testing.T) {
+	for _, d := range []ServeDef{
+		{Shards: -1}, {Clients: -1}, {TargetOps: -1}, {Warmup: -1},
+		{MaxRequests: -1}, {DurationSeconds: -1}, {LatencySample: -2},
+	} {
+		l := validLoad()
+		l.Serve = d
+		if err := l.Validate(); err == nil {
+			t.Errorf("serve def %+v must be rejected", d)
+		}
+	}
+	l := validLoad()
+	l.Serve = ServeDef{} // all defaults are valid
+	if err := l.Validate(); err != nil {
+		t.Errorf("zero serve def must validate, got %v", err)
+	}
+}
+
+// TestServeDefConfig pins the def → runtime mapping, in particular the
+// latency_sample encoding (0 = default = every request, -1 = off).
+func TestServeDefConfig(t *testing.T) {
+	d := ServeDef{Shards: 2, Clients: 3, TargetOps: 50, Warmup: 5, MaxRequests: 99, DurationSeconds: 0.25, LatencySample: 10}
+	cfg := d.Config()
+	want := serve.Config{Shards: 2, Clients: 3, TargetOps: 50, Warmup: 5, MaxRequests: 99,
+		Duration: 250 * time.Millisecond, LatencySample: 10}
+	if cfg.Shards != want.Shards || cfg.Clients != want.Clients || cfg.TargetOps != want.TargetOps ||
+		cfg.Warmup != want.Warmup || cfg.MaxRequests != want.MaxRequests ||
+		cfg.Duration != want.Duration || cfg.LatencySample != want.LatencySample {
+		t.Errorf("Config() = %+v, want %+v", cfg, want)
+	}
+	if got := (ServeDef{}).Config().LatencySample; got != 1 {
+		t.Errorf("default latency sample = %d, want 1 (every request)", got)
+	}
+	if got := (ServeDef{LatencySample: -1}).Config().LatencySample; got != 0 {
+		t.Errorf("latency_sample -1 must disable sampling, got %d", got)
+	}
+}
+
+// TestLoadSpecResolve runs a resolved document end to end through the
+// serving layer: the constructor sizes networks per shard and the
+// generator drives real requests.
+func TestLoadSpecResolve(t *testing.T) {
+	l := validLoad()
+	l.Serve = ServeDef{Shards: 2, Clients: 2, LatencySample: -1}
+	mk, gen, cfg, err := l.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := serve.Run(context.Background(), cfg, mk, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests != 1000 || stats.Shards != 2 {
+		t.Errorf("requests/shards = %d/%d, want 1000/2", stats.Requests, stats.Shards)
+	}
+
+	// A constructor failure must surface as a plain error.
+	bad := validLoad()
+	bad.Network = NetworkDef{Kind: "kary", K: 1} // K < 2 fails at Make time
+	if _, _, _, err := bad.Resolve(); err == nil {
+		t.Errorf("invalid network def must fail Resolve")
+	}
+}

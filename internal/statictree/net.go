@@ -45,6 +45,11 @@ func (s *Net) index() *DistIndex {
 	return s.ix
 }
 
+// StaticOracle is the shard-safe serving hook (internal/serve): a static
+// net is always frozen, so it unconditionally exposes its distance oracle
+// for lock-free concurrent queries, building it on first use.
+func (s *Net) StaticOracle() (*DistIndex, bool) { return s.index(), true }
+
 // ServeBatch implements sim.BatchServer. The topology is immutable, so
 // disjoint shards of a trace may be evaluated by concurrent ServeBatch
 // calls; each query hits the O(1) Euler-tour/RMQ oracle rather than walking

@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"fmt"
+	"iter"
+
+	"github.com/ksan-net/ksan/internal/sim"
+)
+
+// SplitGen returns the i-th of c round-robin substreams of g: the pass
+// that yields exactly the requests at stream positions ≡ i (mod c), in
+// order. The c splits partition g's stream — interleaving them by
+// position reconstructs it element for element — so a pool of c client
+// routines each iterating its own split serves exactly the declared
+// workload, just spread across routines, with fully private per-routine
+// iteration state (the YCSB InitRoutine pattern: no locks, no shared
+// cursor).
+//
+// Each split's pass runs the full underlying pass and keeps every c-th
+// element, so extracting all c substreams costs c underlying passes of
+// generation work; synthetic generators draw requests in nanoseconds, so
+// this buys lock-freedom for a constant factor of generator arithmetic.
+//
+// SplitGen(g, 0, 1) is g itself.
+func SplitGen(g Generator, i, c int) Generator {
+	if c < 1 || i < 0 || i >= c {
+		panic(fmt.Sprintf("workload: SplitGen(%d, %d): need 0 <= i < c", i, c))
+	}
+	if c == 1 {
+		return g
+	}
+	return &splitGen{g: g, i: i, c: c}
+}
+
+type splitGen struct {
+	g    Generator
+	i, c int
+}
+
+func (s *splitGen) Label() string { return fmt.Sprintf("%s[%d/%d]", s.g.Label(), s.i, s.c) }
+func (s *splitGen) Nodes() int    { return s.g.Nodes() }
+
+// Len returns this split's share of the underlying length: positions
+// i, i+c, i+2c, … of an m-request stream number m/c, plus one when
+// i < m mod c. Unknown underlying length stays unknown.
+func (s *splitGen) Len() int {
+	m := s.g.Len()
+	if m < 0 {
+		return UnknownLen
+	}
+	n := m / s.c
+	if s.i < m%s.c {
+		n++
+	}
+	return n
+}
+
+func (s *splitGen) Requests() iter.Seq2[sim.Request, error] {
+	return func(yield func(sim.Request, error) bool) {
+		pos := 0
+		for rq, err := range s.g.Requests() {
+			if err != nil {
+				// Terminal by the Generator contract; every split
+				// surfaces it so no consumer mistakes a failed stream
+				// for a short one.
+				yield(rq, err)
+				return
+			}
+			if pos%s.c == s.i {
+				if !yield(rq, nil) {
+					return
+				}
+			}
+			pos++
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"errors"
+	"iter"
+	"reflect"
+	"testing"
+
+	"github.com/ksan-net/ksan/internal/sim"
+)
+
+func drain(t *testing.T, g Generator) []sim.Request {
+	t.Helper()
+	var out []sim.Request
+	for rq, err := range g.Requests() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, rq)
+	}
+	return out
+}
+
+// TestSplitGenPartition pins the round-robin partition law: interleaving
+// the c splits by position reconstructs the underlying stream element for
+// element, and each split's Len matches what it yields.
+func TestSplitGenPartition(t *testing.T) {
+	for _, c := range []int{1, 2, 3, 7} {
+		g := TemporalGen(64, 1000, 0.5, 9)
+		want := drain(t, g)
+		parts := make([][]sim.Request, c)
+		for i := 0; i < c; i++ {
+			sg := SplitGen(g, i, c)
+			parts[i] = drain(t, sg)
+			if got := sg.Len(); got != len(parts[i]) {
+				t.Errorf("c=%d split %d: Len() = %d, yielded %d", c, i, got, len(parts[i]))
+			}
+			if sg.Nodes() != g.Nodes() {
+				t.Errorf("c=%d split %d: Nodes() = %d, want %d", c, i, sg.Nodes(), g.Nodes())
+			}
+		}
+		var rebuilt []sim.Request
+		for pos := 0; pos < len(want); pos++ {
+			rebuilt = append(rebuilt, parts[pos%c][pos/c])
+		}
+		if !reflect.DeepEqual(rebuilt, want) {
+			t.Errorf("c=%d: interleaved splits diverge from the underlying stream", c)
+		}
+	}
+}
+
+func TestSplitGenIdentity(t *testing.T) {
+	g := UniformGen(16, 100, 1)
+	if SplitGen(g, 0, 1) != g {
+		t.Errorf("SplitGen(g, 0, 1) must be g itself")
+	}
+}
+
+func TestSplitGenLabelAndLen(t *testing.T) {
+	g := UniformGen(16, 10, 1)
+	s := SplitGen(g, 2, 4)
+	if got, want := s.Label(), g.Label()+"[2/4]"; got != want {
+		t.Errorf("Label() = %q, want %q", got, want)
+	}
+	// 10 = 4*2 + 2: splits 0 and 1 get 3, splits 2 and 3 get 2.
+	for i, want := range []int{3, 3, 2, 2} {
+		if got := SplitGen(g, i, 4).Len(); got != want {
+			t.Errorf("split %d Len() = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestSplitGenPanics(t *testing.T) {
+	g := UniformGen(16, 10, 1)
+	for _, tc := range []struct{ i, c int }{{0, 0}, {-1, 2}, {2, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SplitGen(g, %d, %d) must panic", tc.i, tc.c)
+				}
+			}()
+			SplitGen(g, tc.i, tc.c)
+		}()
+	}
+}
+
+// errAfterGen fails after a fixed number of requests.
+type errAfterGen struct {
+	m    int
+	boom error
+}
+
+func (e errAfterGen) Label() string { return "err-after" }
+func (e errAfterGen) Nodes() int    { return 8 }
+func (e errAfterGen) Len() int      { return UnknownLen }
+func (e errAfterGen) Requests() iter.Seq2[sim.Request, error] {
+	return func(yield func(sim.Request, error) bool) {
+		for i := 0; i < e.m; i++ {
+			if !yield(sim.Request{Src: 1 + i%8, Dst: 1 + (i+3)%8}, nil) {
+				return
+			}
+		}
+		yield(sim.Request{}, e.boom)
+	}
+}
+
+// TestSplitGenError pins error surfacing: every split of a failing stream
+// reports the terminal error, even splits whose positions never include
+// the failure point — a failed stream must never look like a short one.
+func TestSplitGenError(t *testing.T) {
+	boom := errors.New("stream torn")
+	g := errAfterGen{m: 10, boom: boom}
+	for i := 0; i < 3; i++ {
+		var got error
+		n := 0
+		for _, err := range SplitGen(g, i, 3).Requests() {
+			if err != nil {
+				got = err
+				break
+			}
+			n++
+		}
+		if !errors.Is(got, boom) {
+			t.Errorf("split %d: error = %v, want the terminal stream error", i, got)
+		}
+	}
+	if SplitGen(g, 0, 3).Len() != UnknownLen {
+		t.Errorf("unknown underlying length must stay unknown")
+	}
+}

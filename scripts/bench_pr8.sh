@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_PR8.json, the machine-readable perf baseline of the
+# concurrent serving-layer PR: the BenchmarkLoad shard grid (one full
+# serving run per op — frozen lock-free path at S ∈ {1,2,4,8} and the
+# adjusting owner-loop path at S ∈ {1,4}, clients = shards), the serving
+# layer's per-request primitives (BenchmarkRoute and the Hist
+# Observe/Merge/Percentile set — the enforced contract is zero
+# allocations per op on all of them), and the engine's sequential serve
+# benchmarks from the repo root, which pin that bolting a serving front-end
+# onto policy.Net did not slow the single-threaded serve path down.
+# Schema ksan-bench/v1, produced by cmd/benchjson.
+#
+# Like BENCH_PR6/PR7.json this baseline is enforced, not advisory: CI
+# regenerates a candidate at a fixed iteration count and gates it with
+# cmd/benchdiff (allocation and bytes contracts cross-machine; ns/op and
+# the req/s metric are only meaningful when diffing two runs of this
+# script on one machine — in particular the shard-grid wall-clock only
+# shows parallel speedup on multi-core hosts).
+#
+# Usage: scripts/bench_pr8.sh [output.json]
+#   BENCHTIME=1x scripts/bench_pr8.sh /tmp/check.json   # CI schema check
+#   BENCHTIME=20x scripts/bench_pr8.sh /tmp/cand.json   # CI benchdiff candidate
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR8.json}"
+benchtime="${BENCHTIME:-1s}"
+count="${COUNT:-1}" # repeats; benchjson keeps each benchmark's min
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+run() { # run <package> <bench regex> <benchtime> <count>
+  go test -run '^$' -bench "$2" -benchmem -benchtime "$3" -count "$4" "$1" >>"$tmp"
+}
+
+# The serving layer: end-to-end shard grid plus per-request primitives.
+run ./internal/serve 'BenchmarkLoad|BenchmarkRoute|BenchmarkHist' "$benchtime" "$count"
+# The sequential serve paths the front-end is built on: any regression
+# here is a serve-layer cost leaking into the single-threaded hot path.
+run . 'BenchmarkServeKAryTemporal|BenchmarkServeKAryUniform|BenchmarkServeSplayNetTemporal' "$benchtime" "$count"
+
+go run ./cmd/benchjson <"$tmp" >"$out"
+echo "bench_pr8: wrote $out ($(grep -c '"ns_per_op"' "$out") benchmarks at -benchtime=$benchtime)" >&2
