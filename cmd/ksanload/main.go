@@ -12,8 +12,11 @@
 //	         [-rate] [-strip-timing] [-cpuprofile file]
 //
 // The load document (see DESIGN.md §11 and testdata/golden_load.json for
-// a sample) holds a network def, a trace def, and a serve block; every
-// serve flag above overrides the corresponding document field when set.
+// a sample) holds a network def, a trace def, a serve block, and
+// optionally a faults block scripting deterministic crash/stall schedules
+// with checkpoint+replay recovery (DESIGN.md §12, testdata/
+// faulted_load.json); every serve flag above overrides the corresponding
+// document field when set.
 // -rate streams live aggregate requests/sec samples to stderr once per
 // second while the run is in flight.
 //
@@ -190,6 +193,18 @@ func recordOf(s *serve.Stats, stripTiming bool) report.Record {
 	if s.Requests > 0 {
 		rec.AvgRouting = float64(s.Routing) / float64(s.Requests)
 	}
+	if f := s.Faults; f != nil {
+		rec.Crashes = f.Crashes
+		rec.Recoveries = f.Recoveries
+		rec.Checkpoints = f.Checkpoints
+		rec.ReplayedRequests = f.ReplayedRequests
+		rec.Stalls = f.Stalls
+		rec.Timeouts = f.Timeouts
+		rec.Retries = f.Retries
+		rec.FailedRequests = f.FailedRequests
+		rec.DegradedRequests = f.DegradedRequests
+		rec.DegradedRouting = f.DegradedRouting
+	}
 	if !stripTiming {
 		rec.ElapsedSeconds = s.Elapsed.Seconds()
 		rec.Throughput = s.Throughput
@@ -217,6 +232,23 @@ func printTable(w *os.File, s *serve.Stats) {
 		fmt.Fprintf(w, "latency (µs)   p50 %.1f  p99 %.1f  max %.1f   (%d sampled)\n",
 			s.LatencyHist.Percentile(0.50)/1e3, s.LatencyHist.Percentile(0.99)/1e3,
 			float64(s.LatencyHist.Max())/1e3, s.LatencyHist.Count())
+	}
+	if f := s.Faults; f != nil {
+		fmt.Fprintf(w, "faults    crashes %d  recoveries %d  stalls %d  checkpoints %d  replayed %d (routing %d adjust %d)\n",
+			f.Crashes, f.Recoveries, f.Stalls, f.Checkpoints, f.ReplayedRequests, f.ReplayRouting, f.ReplayAdjust)
+		fmt.Fprintf(w, "clients   rejected %d  timeouts %d  retries %d  late %d\n",
+			f.Rejected, f.Timeouts, f.Retries, f.LateReplies)
+		fmt.Fprintf(w, "outcomes  failed %d  degraded %d (routing %d)\n",
+			f.FailedRequests, f.DegradedRequests, f.DegradedRouting)
+	}
+	if s.Faults != nil {
+		fmt.Fprintf(w, "\n%6s %8s %12s %14s %14s %8s %8s %10s\n",
+			"shard", "nodes", "requests", "routing", "adjust", "crashes", "rejected", "replayed")
+		for _, ps := range s.PerShard {
+			fmt.Fprintf(w, "%6d %8d %12d %14d %14d %8d %8d %10d\n",
+				ps.Shard, ps.Nodes, ps.Requests, ps.Routing, ps.Adjust, ps.Crashes, ps.Rejected, ps.Replayed)
+		}
+		return
 	}
 	fmt.Fprintf(w, "\n%6s %8s %12s %14s %14s\n", "shard", "nodes", "requests", "routing", "adjust")
 	for _, ps := range s.PerShard {

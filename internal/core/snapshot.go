@@ -29,19 +29,25 @@ type Snapshot struct {
 // Counters and scratch buffers are transient serving state and are
 // deliberately not part of the wire form.
 func (t *Tree) Snapshot() Snapshot {
-	s := Snapshot{
-		K:      t.k,
-		N:      t.n,
-		Root:   t.root,
-		Parent: make([]int32, len(t.parent)),
-		RC:     make([]int32, len(t.rc)),
-	}
-	copy(s.Parent, t.parent)
+	var s Snapshot
+	t.SnapshotInto(&s)
+	return s
+}
+
+// SnapshotInto overwrites s with the tree's flat arena state, reusing s's
+// backing arrays when they have the capacity. This is the periodic-
+// checkpoint entry point (internal/serve): a shard that snapshots the
+// same tree every K requests pays two bulk copies per checkpoint and no
+// steady-state allocations.
+func (t *Tree) SnapshotInto(s *Snapshot) {
+	s.K = t.k
+	s.N = t.n
+	s.Root = t.root
+	s.Parent = append(s.Parent[:0], t.parent...)
 	// parent[0] is a rebuild scratch cell (the branchless parent-update
 	// loops park empty slots there); normalize it out of the wire form.
 	s.Parent[0] = 0
-	copy(s.RC, t.rc)
-	return s
+	s.RC = append(s.RC[:0], t.rc...)
 }
 
 // FromSnapshot reconstructs a Tree from a snapshot, re-validating every

@@ -21,6 +21,24 @@ type Trigger interface {
 	Reset()
 }
 
+// StatefulTrigger is the checkpoint surface of triggers that accumulate
+// state between adjustments. AppendState appends the trigger's mutable
+// state (never its parameters) to dst and returns the extended slice;
+// RestoreState overwrites the mutable state from a slice produced by
+// AppendState on a trigger with identical parameters. The two are exact
+// inverses: restore followed by the same request stream fires at
+// bit-identical points. Stateless triggers (Always, Never) simply don't
+// implement the interface; Net.CheckpointInto treats them as empty.
+type StatefulTrigger interface {
+	Trigger
+	// AppendState appends the mutable trigger state to dst.
+	AppendState(dst []int64) []int64
+	// RestoreState replaces the mutable trigger state with a state
+	// captured by AppendState. It rejects a slice of the wrong length
+	// (a checkpoint from a differently-shaped trigger).
+	RestoreState(src []int64) error
+}
+
 // Always fires on every request: the fully reactive regime of the
 // paper's online networks.
 func Always() Trigger { return alwaysTrigger{} }
@@ -60,6 +78,15 @@ func (t *everyTrigger) Observe(int64) bool {
 	return t.seen >= t.m
 }
 func (t *everyTrigger) Reset() { t.seen = 0 }
+
+func (t *everyTrigger) AppendState(dst []int64) []int64 { return append(dst, t.seen) }
+func (t *everyTrigger) RestoreState(src []int64) error {
+	if len(src) != 1 {
+		return fmt.Errorf("policy: every-trigger state has %d words, want 1", len(src))
+	}
+	t.seen = src[0]
+	return nil
+}
 
 // Alpha fires once the routing cost accumulated since the last
 // adjustment reaches alpha — the partially reactive regime of the lazy
@@ -102,6 +129,15 @@ func (t *alphaTrigger) Observe(dist int64) bool {
 }
 func (t *alphaTrigger) Reset() { t.acc, t.since = 0, 0 }
 
+func (t *alphaTrigger) AppendState(dst []int64) []int64 { return append(dst, t.acc, t.since) }
+func (t *alphaTrigger) RestoreState(src []int64) error {
+	if len(src) != 2 {
+		return fmt.Errorf("policy: alpha-trigger state has %d words, want 2", len(src))
+	}
+	t.acc, t.since = src[0], src[1]
+	return nil
+}
+
 // First fires on each of the first m served requests and never again:
 // the network self-adjusts through a warmup prefix and then freezes
 // (frozen-after-warmup). It panics if m < 1.
@@ -123,3 +159,12 @@ func (t *firstTrigger) Observe(int64) bool {
 // Reset deliberately keeps the lifetime request count: the warmup prefix
 // is measured over the whole trace, not per adjustment.
 func (t *firstTrigger) Reset() {}
+
+func (t *firstTrigger) AppendState(dst []int64) []int64 { return append(dst, t.seen) }
+func (t *firstTrigger) RestoreState(src []int64) error {
+	if len(src) != 1 {
+		return fmt.Errorf("policy: first-trigger state has %d words, want 1", len(src))
+	}
+	t.seen = src[0]
+	return nil
+}

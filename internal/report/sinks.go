@@ -60,6 +60,21 @@ type Record struct {
 	P50LatencyUs float64 `json:"p50_latency_us,omitempty"`
 	P99LatencyUs float64 `json:"p99_latency_us,omitempty"`
 	MaxLatencyUs float64 `json:"max_latency_us,omitempty"`
+
+	// Fault-ledger fields (cmd/ksanload runs with a fault schedule armed):
+	// what the robustness machinery did, kept apart from the healthy
+	// serving totals above. Zero (and omitted from JSON) for engine grid
+	// cells and fault-free serving runs.
+	Crashes          int64 `json:"crashes,omitempty"`
+	Recoveries       int64 `json:"recoveries,omitempty"`
+	Checkpoints      int64 `json:"checkpoints,omitempty"`
+	ReplayedRequests int64 `json:"replayed_requests,omitempty"`
+	Stalls           int64 `json:"stalls,omitempty"`
+	Timeouts         int64 `json:"timeouts,omitempty"`
+	Retries          int64 `json:"retries,omitempty"`
+	FailedRequests   int64 `json:"failed_requests,omitempty"`
+	DegradedRequests int64 `json:"degraded_requests,omitempty"`
+	DegradedRouting  int64 `json:"degraded_routing,omitempty"`
 }
 
 // RecordOf flattens a finished cell into the external schema.
@@ -133,6 +148,9 @@ var csvHeader = []string{
 	"window_start", "window_end",
 	"shards", "clients", "cross_shard",
 	"p50_latency_us", "p99_latency_us", "max_latency_us",
+	"crashes", "recoveries", "checkpoints", "replayed_requests",
+	"stalls", "timeouts", "retries",
+	"failed_requests", "degraded_requests", "degraded_routing",
 }
 
 // CSVSink writes cells (and their window time-series) as tidy CSV rows.
@@ -175,6 +193,9 @@ func (s *CSVSink) Record(rec Record) error {
 		"", "",
 		itoa(rec.Shards), itoa(rec.Clients), i64(rec.CrossShard),
 		f64(rec.P50LatencyUs), f64(rec.P99LatencyUs), f64(rec.MaxLatencyUs),
+		i64(rec.Crashes), i64(rec.Recoveries), i64(rec.Checkpoints), i64(rec.ReplayedRequests),
+		i64(rec.Stalls), i64(rec.Timeouts), i64(rec.Retries),
+		i64(rec.FailedRequests), i64(rec.DegradedRequests), i64(rec.DegradedRouting),
 	}
 	if err := s.cw.Write(row); err != nil {
 		return fmt.Errorf("report: writing cell (%d,%d): %w", rec.I, rec.J, err)
@@ -187,6 +208,9 @@ func (s *CSVSink) Record(rec Record) error {
 			"", "", "",
 			"", "",
 			itoa(w.Start), itoa(w.End),
+			"", "", "",
+			"", "", "",
+			"", "", "", "",
 			"", "", "",
 			"", "", "",
 		}

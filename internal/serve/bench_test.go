@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"testing"
 
+	"github.com/ksan-net/ksan/internal/policy"
+	"github.com/ksan-net/ksan/internal/sim"
 	"github.com/ksan-net/ksan/internal/workload"
 )
 
@@ -44,6 +46,117 @@ func BenchmarkLoad(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// warmShardNet builds an n-node adjusting shard network and serves a
+// deterministic request prefix into it, returning the network and its
+// checkpoint surface.
+func warmShardNet(b *testing.B, n, prefix int) (sim.Network, recoverable) {
+	b.Helper()
+	net, err := mkKary(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for r, err := range workload.SequentialGen(n, prefix).Requests() {
+		if err != nil {
+			b.Fatal(err)
+		}
+		net.Serve(r.Src, r.Dst)
+	}
+	return net, net.(recoverable)
+}
+
+// BenchmarkCheckpoint is the owner-loop cost of one periodic snapshot:
+// CheckpointInto with a reused checkpoint, amortized over the interval.
+// The enforced contract is zero allocations per op — the first snapshot
+// grows the backing arrays, every later one reuses them, so a checkpoint
+// never pressures the collector mid-run.
+func BenchmarkCheckpoint(b *testing.B) {
+	_, rec := warmShardNet(b, 1024, 10_000)
+	var cp policy.Checkpoint
+	if err := rec.CheckpointInto(&cp); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rec.CheckpointInto(&cp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecovery is the cost of one crash recovery: restore the last
+// checkpoint and replay a full interval's log (the worst case — a crash
+// just before the next checkpoint boundary). Restore rebuilds the tree
+// from the snapshot, so this path allocates; it runs once per recovery,
+// never per request.
+func BenchmarkRecovery(b *testing.B) {
+	const n = 1024
+	net, rec := warmShardNet(b, n, 10_000)
+	var cp policy.Checkpoint
+	if err := rec.CheckpointInto(&cp); err != nil {
+		b.Fatal(err)
+	}
+	wal := make([]sim.Request, DefaultCheckpointEvery)
+	for i := range wal {
+		wal[i] = sim.Request{Src: 1 + i%n, Dst: 1 + (i*7)%n}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rec.Restore(&cp); err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range wal {
+			net.Serve(r.Src, r.Dst)
+		}
+	}
+	b.ReportMetric(float64(len(wal)), "replayed/op")
+}
+
+// BenchmarkFaultedLoad is the end-to-end serving run with the fault
+// machinery armed: "idle" measures the standing cost of the faulted owner
+// loop and periodic checkpoints with an empty schedule (the overhead a
+// run pays just for being recoverable), "crash-recover" adds a scripted
+// lossless crash per shard mid-run. Compare against
+// BenchmarkLoad/adjusting for the disarmed baseline — the nil-plan path
+// itself is gated by benchdiff to stay bit-identical to PR 8.
+func BenchmarkFaultedLoad(b *testing.B) {
+	const n, m = 1024, 50_000
+	const shards = 4
+	plans := []struct {
+		name string
+		plan func() *FaultPlan
+	}{
+		{"idle", func() *FaultPlan {
+			return &FaultPlan{CheckpointEvery: 1024}
+		}},
+		{"crash-recover", func() *FaultPlan {
+			p := &FaultPlan{CheckpointEvery: 1024}
+			for s := 0; s < shards; s++ {
+				p.Events = append(p.Events, FaultEvent{Shard: s, At: 5000, Kind: FaultCrash})
+			}
+			return p
+		}},
+	}
+	for _, pc := range plans {
+		b.Run(pc.name, func(b *testing.B) {
+			gen := workload.SequentialGen(n, m)
+			cfg := Config{Shards: shards, Clients: shards, Faults: pc.plan()}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				stats, err := Run(context.Background(), cfg, mkKary, gen)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.Requests != m {
+					b.Fatalf("served %d, want %d", stats.Requests, m)
+				}
+			}
+			b.ReportMetric(float64(m)/(float64(b.Elapsed().Nanoseconds())/float64(b.N)/1e9), "req/s")
 		})
 	}
 }

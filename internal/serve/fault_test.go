@@ -1,0 +1,505 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/ksan-net/ksan/internal/karynet"
+	"github.com/ksan-net/ksan/internal/sim"
+	"github.com/ksan-net/ksan/internal/splaynet"
+	"github.com/ksan-net/ksan/internal/workload"
+)
+
+// TestRecoveryEquivalenceGolden is the new rung of the equivalence
+// ladder: with S=1/C=1 and crashes that recover on the next arrival
+// (RecoverAfter=0, no request lost), snapshot+replay recovery must
+// reproduce the engine golden totals bit-for-bit — routing 123648 /
+// adjust 82864 on the repo's golden workload, exactly as if no crash had
+// ever happened. Crash points cover mid-interval (non-empty replay log)
+// and an exact checkpoint boundary (empty replay log).
+func TestRecoveryEquivalenceGolden(t *testing.T) {
+	gen := workload.TemporalGen(127, 50_000, 0.75, 42)
+	plan := &FaultPlan{
+		CheckpointEvery: 1000,
+		Events: []FaultEvent{
+			{Shard: 0, At: 1500, Kind: FaultCrash, RecoverAfter: 0},
+			{Shard: 0, At: 3000, Kind: FaultCrash, RecoverAfter: 0}, // checkpoint boundary
+			{Shard: 0, At: 49_999, Kind: FaultCrash, RecoverAfter: 0},
+		},
+	}
+	stats, err := Run(context.Background(), Config{Shards: 1, Clients: 1, Faults: plan}, mkKary, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Routing != 123648 || stats.Adjust != 82864 {
+		t.Errorf("routing/adjust = %d/%d under injected crashes, want golden 123648/82864",
+			stats.Routing, stats.Adjust)
+	}
+	if stats.Requests != 50_000 {
+		t.Errorf("served %d requests, want all 50000 (RecoverAfter=0 loses nothing)", stats.Requests)
+	}
+	f := stats.Faults
+	if f == nil {
+		t.Fatal("no fault ledger despite an armed plan")
+	}
+	if f.Crashes != 3 || f.Recoveries != 3 {
+		t.Errorf("crashes/recoveries = %d/%d, want 3/3", f.Crashes, f.Recoveries)
+	}
+	// Replay lengths are fully determined by the logical schedule:
+	// 1500 % 1000 = 500 post-checkpoint requests, 3000 % 1000 = 0 (the
+	// checkpoint fires first at a shared boundary), 49999 % 1000 = 999.
+	if f.ReplayedRequests != 500+0+999 {
+		t.Errorf("replayed %d requests, want 1499", f.ReplayedRequests)
+	}
+	if f.Rejected != 0 || f.FailedRequests != 0 || f.DegradedRequests != 0 || f.Timeouts != 0 {
+		t.Errorf("ledger shows losses %+v, want none under RecoverAfter=0", *f)
+	}
+	if f.Checkpoints != 1+50 {
+		t.Errorf("checkpoints = %d, want 51 (initial + every 1000 serves)", f.Checkpoints)
+	}
+	if f.ReplayRouting == 0 || f.ReplayAdjust == 0 {
+		t.Error("replays charged no cost; the replay path was not exercised")
+	}
+}
+
+// TestRecoveryEquivalenceMultiShard extends the rung to S shards: with
+// one client and lossless crashes scheduled on several shards, aggregate
+// and per-shard totals must equal the fault-free run's exactly.
+func TestRecoveryEquivalenceMultiShard(t *testing.T) {
+	gen := workload.TemporalGen(200, 20_000, 0.6, 7)
+	base, err := Run(context.Background(), Config{Shards: 4, Clients: 1}, mkKary, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &FaultPlan{
+		CheckpointEvery: 512,
+		Events: []FaultEvent{
+			{Shard: 0, At: 700, Kind: FaultCrash, RecoverAfter: 0},
+			{Shard: 1, At: 1, Kind: FaultCrash, RecoverAfter: 0}, // crash after the very first serve
+			{Shard: 2, At: 1024, Kind: FaultCrash, RecoverAfter: 0},
+			{Shard: 2, At: 3000, Kind: FaultCrash, RecoverAfter: 0},
+		},
+	}
+	faulted, err := Run(context.Background(), Config{Shards: 4, Clients: 1, Faults: plan}, mkKary, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted.Routing != base.Routing || faulted.Adjust != base.Adjust ||
+		faulted.Requests != base.Requests || faulted.CrossShard != base.CrossShard {
+		t.Errorf("faulted totals %d/%d/%d/%d, fault-free %d/%d/%d/%d",
+			faulted.Routing, faulted.Adjust, faulted.Requests, faulted.CrossShard,
+			base.Routing, base.Adjust, base.Requests, base.CrossShard)
+	}
+	for sh := range base.PerShard {
+		b, f := base.PerShard[sh], faulted.PerShard[sh]
+		if f.Routing != b.Routing || f.Adjust != b.Adjust || f.Requests != b.Requests {
+			t.Errorf("shard %d: faulted %d/%d/%d, fault-free %d/%d/%d",
+				sh, f.Routing, f.Adjust, f.Requests, b.Routing, b.Adjust, b.Requests)
+		}
+	}
+	if faulted.PerShard[2].Crashes != 2 || faulted.PerShard[2].Recoveries != 2 {
+		t.Errorf("shard 2 ledger %d/%d, want 2 crashes and 2 recoveries",
+			faulted.PerShard[2].Crashes, faulted.PerShard[2].Recoveries)
+	}
+	if faulted.PerShard[3].Crashes != 0 {
+		t.Error("unscheduled shard reports crashes")
+	}
+}
+
+// TestRecoveryEquivalenceMultiClient pins the ladder under real
+// concurrency and crash recovery at once: with C clients the arrival
+// order is nondeterministic, but each shard's recorded local sequence
+// replayed on a fresh identical network must still reproduce the shard's
+// totals — recovery restores exact state, so the crash is invisible to
+// the sequence semantics. Run under -race in CI, this also asserts the
+// fault machinery keeps the single-writer rule.
+func TestRecoveryEquivalenceMultiClient(t *testing.T) {
+	const n, m, shards, clients = 200, 20_000, 4, 4
+	gen := workload.TemporalGen(n, m, 0.6, 3)
+	plan := &FaultPlan{
+		CheckpointEvery: 256,
+		Events: []FaultEvent{
+			{Shard: 0, At: 300, Kind: FaultCrash, RecoverAfter: 0},
+			{Shard: 1, At: 900, Kind: FaultCrash, RecoverAfter: 0},
+			{Shard: 3, At: 2000, Kind: FaultCrash, RecoverAfter: 0},
+		},
+	}
+	stats, err := Run(context.Background(),
+		Config{Shards: shards, Clients: clients, RecordLocal: true, Faults: plan}, mkKary, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := NewPartition(n, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Faults.Crashes != 3 || stats.Faults.Recoveries != 3 {
+		t.Fatalf("crashes/recoveries = %d/%d, want 3/3", stats.Faults.Crashes, stats.Faults.Recoveries)
+	}
+	for sh := 0; sh < shards; sh++ {
+		ps := stats.PerShard[sh]
+		if int64(len(ps.Local)) != ps.Requests {
+			t.Fatalf("shard %d: recorded %d, accounted %d", sh, len(ps.Local), ps.Requests)
+		}
+		wantR, wantA := replay(t, mkKary, part.Size(sh), ps.Local)
+		if ps.Routing != wantR || ps.Adjust != wantA {
+			t.Errorf("shard %d: routing/adjust %d/%d, sequential replay of recorded sequence %d/%d",
+				sh, ps.Routing, ps.Adjust, wantR, wantA)
+		}
+	}
+	if stats.Requests != m {
+		t.Errorf("measured %d requests, want the full stream %d", stats.Requests, m)
+	}
+}
+
+// TestFaultLedgerDeterministic pins that a purely logical schedule (no
+// timeouts, no stalls) yields a bit-identical ledger and totals across
+// runs: rejected counts, failed requests, and serving totals are all
+// functions of the schedule, never of timing.
+func TestFaultLedgerDeterministic(t *testing.T) {
+	gen := workload.TemporalGen(127, 5_000, 0.7, 9)
+	mkPlan := func() *FaultPlan {
+		return &FaultPlan{
+			CheckpointEvery: 500,
+			Degraded:        DegradedFail,
+			Retries:         1,
+			Events: []FaultEvent{
+				{Shard: 0, At: 1000, Kind: FaultCrash, RecoverAfter: 6},
+				{Shard: 0, At: 4000, Kind: FaultCrash, RecoverAfter: 3},
+			},
+		}
+	}
+	run := func() *Stats {
+		stats, err := Run(context.Background(), Config{Shards: 1, Clients: 1, Faults: mkPlan()}, mkKary, gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	a, b := run(), run()
+	if *a.Faults != *b.Faults {
+		t.Errorf("ledgers diverge across identical runs:\n%+v\n%+v", *a.Faults, *b.Faults)
+	}
+	if a.Routing != b.Routing || a.Adjust != b.Adjust || a.Requests != b.Requests {
+		t.Errorf("totals diverge: %d/%d/%d vs %d/%d/%d",
+			a.Routing, a.Adjust, a.Requests, b.Routing, b.Adjust, b.Requests)
+	}
+	// With one client and Retries=1, each failed request makes exactly two
+	// attempts; RecoverAfter=6 and 3 reject 6+3 attempts = 3+2 failed
+	// requests, then the next arrival recovers. One of the 3-rejection
+	// crash's requests takes one rejection then one successful retry...
+	// pin the exact arithmetic instead of re-deriving it loosely:
+	f := a.Faults
+	if f.Rejected != 9 {
+		t.Errorf("rejected = %d, want 9 (6+3 scheduled rejections)", f.Rejected)
+	}
+	// 6 rejections consume: req1 (2 attempts), req2 (2), req3 (2) → 3
+	// failed; 3 rejections: req1 (2 attempts), req2 first attempt rejected,
+	// retry lands post-recovery and serves → 1 failed, 1 recovered retry.
+	if f.FailedRequests != 4 {
+		t.Errorf("failed = %d, want 4", f.FailedRequests)
+	}
+	if f.Retries != 5 {
+		t.Errorf("retries = %d, want 5", f.Retries)
+	}
+	if got := a.Requests + a.WarmupRequests + f.FailedRequests; got != 5_000 {
+		t.Errorf("ok+failed = %d, want 5000 (conservation)", got)
+	}
+	if f.Crashes != 2 || f.Recoveries != 2 || f.DegradedRequests != 0 || f.Timeouts != 0 {
+		t.Errorf("unexpected ledger %+v", *f)
+	}
+}
+
+// TestDegradedStaleServes pins the stale-read fallback: a shard that
+// crashes and never recovers keeps serving read-only through its
+// last-checkpoint oracle. Every post-crash request degrades (none fail),
+// its routing cost is charged to the ledger, and the healthy totals stop
+// at the crash point.
+func TestDegradedStaleServes(t *testing.T) {
+	const m = 1_000
+	const crashAt = 100
+	gen := workload.TemporalGen(64, m, 0.6, 5)
+	plan := &FaultPlan{
+		Degraded: DegradedStale,
+		Retries:  1,
+		Events:   []FaultEvent{{Shard: 0, At: crashAt, Kind: FaultCrash, RecoverAfter: -1}},
+	}
+	stats, err := Run(context.Background(), Config{Shards: 1, Clients: 1, Faults: plan}, mkKary, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := stats.Faults
+	if stats.Requests != crashAt {
+		t.Errorf("healthy requests = %d, want %d (everything before the crash)", stats.Requests, crashAt)
+	}
+	if f.DegradedRequests != m-crashAt || f.FailedRequests != 0 {
+		t.Errorf("degraded/failed = %d/%d, want %d/0", f.DegradedRequests, f.FailedRequests, m-crashAt)
+	}
+	if f.DegradedRouting == 0 {
+		t.Error("degraded serves charged no routing cost")
+	}
+	// Each degraded request burns its retry against the downed shard:
+	// 2 attempts per request, all rejected.
+	if f.Rejected != 2*(m-crashAt) || f.Retries != m-crashAt {
+		t.Errorf("rejected/retries = %d/%d, want %d/%d", f.Rejected, f.Retries, 2*(m-crashAt), m-crashAt)
+	}
+	if f.Recoveries != 0 {
+		t.Errorf("recoveries = %d for a RecoverAfter=-1 crash", f.Recoveries)
+	}
+	// The stale oracle answers from the initial checkpoint (the balanced
+	// starting tree — the crash predates the first interval checkpoint),
+	// so degraded routing is deterministic: pin it against a direct
+	// replay on the frozen starting topology.
+	frozen, err := mkFrozen(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := collect(t, gen)
+	var wantDegraded int64
+	for _, rq := range reqs[crashAt:] {
+		wantDegraded += frozen.Serve(rq.Src, rq.Dst).Routing
+	}
+	if f.DegradedRouting != wantDegraded {
+		t.Errorf("degraded routing = %d, want %d (stale reads on the checkpoint topology)",
+			f.DegradedRouting, wantDegraded)
+	}
+}
+
+// TestDegradedFailFast pins the fail-fast policy: same scenario, but
+// every post-crash request fails instead of degrading.
+func TestDegradedFailFast(t *testing.T) {
+	const m = 1_000
+	const crashAt = 100
+	gen := workload.TemporalGen(64, m, 0.6, 5)
+	plan := &FaultPlan{
+		Degraded: DegradedFail,
+		Events:   []FaultEvent{{Shard: 0, At: crashAt, Kind: FaultCrash, RecoverAfter: -1}},
+	}
+	stats, err := Run(context.Background(), Config{Shards: 1, Clients: 1, Faults: plan}, mkKary, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := stats.Faults
+	if f.FailedRequests != m-crashAt || f.DegradedRequests != 0 {
+		t.Errorf("failed/degraded = %d/%d, want %d/0", f.FailedRequests, f.DegradedRequests, m-crashAt)
+	}
+	if stats.Requests != crashAt {
+		t.Errorf("healthy requests = %d, want %d", stats.Requests, crashAt)
+	}
+}
+
+// TestFaultedFrozenShard: with a plan armed, frozen shards are served
+// through owner loops too (the lock-free oracle path cannot inject
+// faults), and lossless crash recovery holds on them trivially.
+func TestFaultedFrozenShard(t *testing.T) {
+	gen := workload.UniformGen(100, 5_000, 5)
+	base, err := Run(context.Background(), Config{Shards: 2, Clients: 1}, mkFrozen, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &FaultPlan{Events: []FaultEvent{{Shard: 1, At: 500, Kind: FaultCrash, RecoverAfter: 0}}}
+	faulted, err := Run(context.Background(), Config{Shards: 2, Clients: 1, Faults: plan}, mkFrozen, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted.Routing != base.Routing || faulted.Requests != base.Requests {
+		t.Errorf("faulted frozen run %d/%d, fault-free %d/%d",
+			faulted.Routing, faulted.Requests, base.Routing, base.Requests)
+	}
+	if faulted.Faults.Crashes != 1 || faulted.Faults.Recoveries != 1 {
+		t.Errorf("ledger %+v, want one crash and one recovery", *faulted.Faults)
+	}
+}
+
+// TestStallAndTimeout exercises the wall-clock corner: a stalled owner
+// trips client deadlines, timed-out requests fail without retry, and
+// the late replies of delivered-but-slow requests are drained and
+// ledgered rather than lost. Counts here are timing-dependent, so the
+// assertions are structural, plus the conservation law.
+func TestStallAndTimeout(t *testing.T) {
+	const m = 200
+	gen := workload.TemporalGen(64, m, 0.6, 13)
+	plan := &FaultPlan{
+		Timeout: 20 * time.Millisecond,
+		Events:  []FaultEvent{{Shard: 0, At: 10, Kind: FaultStall, Stall: 150 * time.Millisecond}},
+	}
+	stats, err := Run(context.Background(), Config{Shards: 1, Clients: 1, Faults: plan}, mkKary, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := stats.Faults
+	if f.Stalls != 1 {
+		t.Errorf("stalls = %d, want 1", f.Stalls)
+	}
+	if f.Timeouts == 0 || f.FailedRequests == 0 {
+		t.Errorf("stall tripped no deadlines: timeouts=%d failed=%d", f.Timeouts, f.FailedRequests)
+	}
+	if got := stats.Requests + stats.WarmupRequests + f.FailedRequests + f.DegradedRequests; got != m {
+		t.Errorf("ok+failed+degraded = %d, want %d (conservation)", got, m)
+	}
+	// Per-shard totals count what the shard actually served: OK requests
+	// plus late-served halves.
+	if want := stats.Requests + f.LateReplies; stats.PerShard[0].Requests != want {
+		t.Errorf("shard served %d, want %d ok + %d late", stats.PerShard[0].Requests, stats.Requests, f.LateReplies)
+	}
+}
+
+// TestFaultPlanValidation pins the spec-facing validation surface.
+func TestFaultPlanValidation(t *testing.T) {
+	gen := workload.UniformGen(64, 100, 1)
+	for name, plan := range map[string]*FaultPlan{
+		"shard out of range":  {Events: []FaultEvent{{Shard: 2, At: 1, Kind: FaultCrash}}},
+		"negative shard":      {Events: []FaultEvent{{Shard: -1, At: 1, Kind: FaultCrash}}},
+		"at zero":             {Events: []FaultEvent{{Shard: 0, At: 0, Kind: FaultCrash}}},
+		"duplicate at":        {Events: []FaultEvent{{Shard: 0, At: 5, Kind: FaultCrash}, {Shard: 0, At: 5, Kind: FaultStall, Stall: time.Millisecond}}},
+		"crash with stall":    {Events: []FaultEvent{{Shard: 0, At: 1, Kind: FaultCrash, Stall: time.Second}}},
+		"stall without dur":   {Events: []FaultEvent{{Shard: 0, At: 1, Kind: FaultStall}}},
+		"stall with recover":  {Events: []FaultEvent{{Shard: 0, At: 1, Kind: FaultStall, Stall: time.Second, RecoverAfter: 2}}},
+		"recover below -1":    {Events: []FaultEvent{{Shard: 0, At: 1, Kind: FaultCrash, RecoverAfter: -2}}},
+		"unknown kind":        {Events: []FaultEvent{{Shard: 0, At: 1, Kind: FaultKind(9)}}},
+		"unknown degraded":    {Degraded: DegradedMode(7)},
+		"negative checkpoint": {CheckpointEvery: -1},
+		"negative timeout":    {Timeout: -time.Second},
+		"negative retries":    {Retries: -1},
+	} {
+		if _, err := Run(context.Background(), Config{Shards: 2, Clients: 1, Faults: plan}, mkKary, gen); err == nil {
+			t.Errorf("%s: plan accepted", name)
+		}
+	}
+
+	// A custom substrate cannot checkpoint: arming any plan must fail,
+	// and the error path must not leak the owners already started.
+	mkSplay := func(n int) (sim.Network, error) { return splaynet.New(n) }
+	before := runtime.NumGoroutine()
+	_, err := Run(context.Background(),
+		Config{Shards: 2, Clients: 1, Faults: &FaultPlan{}}, mkSplay, gen)
+	if err == nil {
+		t.Error("fault plan over a custom substrate accepted")
+	}
+	waitForGoroutines(t, before)
+}
+
+// waitForGoroutines waits until the goroutine count drops back to the
+// baseline (scheduler exits are asynchronous), failing with a full stack
+// dump if it never does.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: %d > baseline %d\n%s", runtime.NumGoroutine(), baseline, buf[:n])
+}
+
+// TestServeMkFailureShutsDownOwners is the regression test for the PR 8
+// shard-construction leak: when mk fails mid-construction, the owner
+// loops already started for earlier shards must be shut down, not leaked.
+func TestServeMkFailureShutsDownOwners(t *testing.T) {
+	gen := workload.UniformGen(100, 1000, 1)
+	boom := errors.New("shard 2 refused to build")
+	built := 0
+	mk := func(n int) (sim.Network, error) {
+		if built == 2 {
+			return nil, boom
+		}
+		built++
+		return karynet.New(n, 4)
+	}
+	before := runtime.NumGoroutine()
+	_, err := Run(context.Background(), Config{Shards: 4, Clients: 2}, mk, gen)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the mk error", err)
+	}
+	waitForGoroutines(t, before)
+
+	// Same property with a fault plan armed (faulted owner loops).
+	built = 0
+	before = runtime.NumGoroutine()
+	_, err = Run(context.Background(),
+		Config{Shards: 4, Clients: 2, Faults: &FaultPlan{}}, mk, gen)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the mk error", err)
+	}
+	waitForGoroutines(t, before)
+}
+
+// TestServeCancellationLatencyBounded is the regression test for the
+// stop-deaf pacing sleep: a client throttled to one request per minute
+// must still react to cancellation within milliseconds, not a pacing
+// interval.
+func TestServeCancellationLatencyBounded(t *testing.T) {
+	gen := workload.UniformGen(64, 100_000, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	stats, err := Run(ctx, Config{Shards: 1, Clients: 1, TargetOps: 1.0 / 60}, mkKary, gen)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if stats == nil {
+		t.Fatal("cancellation returned no partial stats")
+	}
+	// The pacing interval is 60s; anything close to that means the sleep
+	// ignored the stop. Allow generous CI scheduling slack.
+	if elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v with a 60s pacing interval; the sleep is not stop-aware", elapsed)
+	}
+}
+
+// TestServeCancelMidFlight pins the cancellation semantics end to end:
+// cancelling a run mid-flight returns partial Stats with ctx.Err(), every
+// shard owner and the rate reporter exit, and the generator is untouched
+// state-wise — a second run on it completes with full totals.
+func TestServeCancelMidFlight(t *testing.T) {
+	const m = 400_000 // far more than the cancel window can serve
+	gen := workload.TemporalGen(127, m, 0.75, 42)
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	rateSeen := false
+	cfg := Config{
+		Shards: 2, Clients: 2,
+		OnRate:    func(RateSample) { rateSeen = true },
+		RateEvery: 10 * time.Millisecond,
+	}
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		cancel()
+	}()
+	stats, err := Run(ctx, cfg, mkKary, gen)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if stats == nil {
+		t.Fatal("no partial stats")
+	}
+	total := stats.Requests + stats.WarmupRequests
+	if total <= 0 || total >= m {
+		t.Errorf("partial run served %d of %d; expected a strict mid-flight cut", total, m)
+	}
+	if !rateSeen {
+		t.Error("rate reporter never fired before cancellation")
+	}
+	waitForGoroutines(t, before)
+
+	// The generator contract: every Requests() call is an independent
+	// pass, so the aborted pass must not disturb a fresh full run.
+	full, err := Run(context.Background(), Config{Shards: 1, Clients: 1}, mkKary, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Requests != m {
+		t.Errorf("post-cancel run served %d, want the full stream %d", full.Requests, m)
+	}
+}

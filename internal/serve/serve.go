@@ -51,6 +51,16 @@ type Config struct {
 	// RateEvery (default 1s) from a reporter goroutine.
 	OnRate    func(RateSample)
 	RateEvery time.Duration
+	// Faults arms the deterministic fault-injection machinery (DESIGN.md
+	// §12): scripted crashes/stalls at logical trigger points, periodic
+	// checkpoints with snapshot+replay recovery, client deadlines/retries,
+	// and degraded-mode serving. nil (the default) disarms everything and
+	// the run uses the unchanged PR 8 hot path. With a plan armed, every
+	// shard — frozen included — is served through its owner loop, and
+	// every shard network must support exact checkpoint/restore
+	// (tree-backed policy compositions do; custom substrates are
+	// rejected).
+	Faults *FaultPlan
 }
 
 // RateSample is one live-throughput report.
@@ -73,6 +83,12 @@ type ShardStats struct {
 	// Local is the processed local request sequence (RecordLocal runs
 	// only; nil otherwise).
 	Local []sim.Request
+	// Fault-ledger slice of this shard (zero unless a plan was armed).
+	Crashes     int64
+	Recoveries  int64
+	Checkpoints int64
+	Replayed    int64 // requests re-served from the replay log
+	Rejected    int64 // down replies sent while crashed
 }
 
 // Stats aggregates a serving run. The measurement region excludes each
@@ -100,6 +116,9 @@ type Stats struct {
 	LatencyHist *Hist // sampled closed-loop latency, nanoseconds, measured region
 
 	PerShard []ShardStats
+
+	// Faults is the run's fault ledger (nil when no plan was armed).
+	Faults *FaultStats
 
 	Elapsed    time.Duration
 	Throughput float64 // requests/sec, warmup included (the engine's convention)
@@ -140,13 +159,39 @@ func Run(ctx context.Context, cfg Config, mk func(n int) (sim.Network, error), g
 	if err != nil {
 		return nil, err
 	}
-	p := &pool{cfg: cfg, part: part, shards: make([]*shard, cfg.Shards)}
+	var events [][]FaultEvent
+	if cfg.Faults != nil {
+		if events, err = cfg.Faults.validate(cfg.Shards); err != nil {
+			return nil, err
+		}
+	}
+	p := &pool{cfg: cfg, part: part, shards: make([]*shard, cfg.Shards),
+		plan: cfg.Faults, stopCh: make(chan struct{})}
 	for i := range p.shards {
 		net, err := mk(part.Size(i))
 		if err != nil {
+			// Owners already started for shards < i must not leak.
+			p.shutdownShards()
 			return nil, fmt.Errorf("serve: building shard %d (%d nodes): %w", i, part.Size(i), err)
 		}
 		s := &shard{id: i, nodes: part.Size(i), net: net, record: cfg.RecordLocal}
+		if cfg.Faults != nil {
+			// Fault mode: every shard is served through a faulted owner
+			// loop and must support exact checkpoint/restore.
+			rec, ok := net.(recoverable)
+			if !ok || !rec.Checkpointable() {
+				p.shutdownShards()
+				return nil, fmt.Errorf("serve: fault plan armed, but shard %d network %q cannot checkpoint/restore",
+					i, net.Name())
+			}
+			s.recov = rec
+			s.events = events[i]
+			s.fch = make(chan frequest, cfg.Clients)
+			s.done = make(chan struct{})
+			go s.runFaulted(cfg.Faults)
+			p.shards[i] = s
+			continue
+		}
 		if !cfg.RecordLocal {
 			if ss, ok := net.(staticServer); ok {
 				if ix, frozen := ss.StaticOracle(); frozen {
@@ -163,16 +208,17 @@ func Run(ctx context.Context, cfg Config, mk func(n int) (sim.Network, error), g
 	}
 
 	// Stop signals: wall-clock duration (normal completion) and context
-	// cancellation (error). Both just flip the flag clients poll.
+	// cancellation (error). Both halt the pool, which flips the flag
+	// clients poll and wakes any client sleeping in pacing or backoff.
 	watchDone := make(chan struct{})
 	if cfg.Duration > 0 {
-		t := time.AfterFunc(cfg.Duration, func() { p.stop.Store(true) })
+		t := time.AfterFunc(cfg.Duration, p.halt)
 		defer t.Stop()
 	}
 	go func() {
 		select {
 		case <-ctx.Done():
-			p.stop.Store(true)
+			p.halt()
 		case <-watchDone:
 		}
 	}()
@@ -221,16 +267,15 @@ func Run(ctx context.Context, cfg Config, mk func(n int) (sim.Network, error), g
 		wg.Add(1)
 		go func(c *client) {
 			defer wg.Done()
-			c.run()
+			if p.plan != nil {
+				c.runFaulted()
+			} else {
+				c.run()
+			}
 		}(clients[i])
 	}
 	wg.Wait()
-	for _, s := range p.shards {
-		if s.ch != nil {
-			close(s.ch)
-			<-s.done
-		}
-	}
+	p.shutdownShards()
 	elapsed := time.Since(start)
 	close(watchDone)
 	reporterWG.Wait()
@@ -246,7 +291,19 @@ func Run(ctx context.Context, cfg Config, mk func(n int) (sim.Network, error), g
 	stats.LatencyHist = new(Hist)
 	stats.PerShard = make([]ShardStats, cfg.Shards)
 	for i, s := range p.shards {
-		stats.PerShard[i] = ShardStats{Shard: i, Nodes: s.nodes, Hist: new(Hist), Local: s.local}
+		stats.PerShard[i] = ShardStats{Shard: i, Nodes: s.nodes, Hist: new(Hist), Local: s.local,
+			Crashes: s.faults.Crashes, Recoveries: s.faults.Recoveries,
+			Checkpoints: s.faults.Checkpoints, Replayed: s.faults.ReplayedRequests,
+			Rejected: s.faults.Rejected}
+	}
+	if cfg.Faults != nil {
+		stats.Faults = new(FaultStats)
+		for _, s := range p.shards {
+			stats.Faults.merge(&s.faults)
+		}
+		for _, c := range clients {
+			stats.Faults.merge(&c.acc.faults)
+		}
 	}
 	var streamErr error
 	for _, c := range clients {

@@ -60,15 +60,114 @@ func (d ServeDef) Config() serve.Config {
 	}
 }
 
+// FaultEventSpec is one scripted fault in a load document. Trigger
+// points are logical (the target shard's local serve count), so a
+// document replays the same schedule on every run.
+type FaultEventSpec struct {
+	Shard int    `json:"shard"`
+	At    int64  `json:"at"`
+	Kind  string `json:"kind"` // "crash" or "stall"
+	// RecoverAfter (crashes only): arrivals rejected before the next
+	// arrival triggers snapshot+replay recovery; 0 = recover on the
+	// first post-crash arrival, -1 = never recover.
+	RecoverAfter int64 `json:"recover_after,omitempty"`
+	// StallMs (stalls only): how long the owner loop sleeps.
+	StallMs float64 `json:"stall_ms,omitempty"`
+}
+
+// FaultSpec is the serializable fault schedule of a serving run — the
+// document form of serve.FaultPlan. A nil *FaultSpec in a LoadSpec
+// means faults are disarmed and the run uses the plain serving path.
+type FaultSpec struct {
+	CheckpointEvery int64            `json:"checkpoint_every,omitempty"`
+	Degraded        string           `json:"degraded,omitempty"` // "fail" (default) or "stale"
+	TimeoutMs       float64          `json:"timeout_ms,omitempty"`
+	Retries         int              `json:"retries,omitempty"`
+	BackoffMs       float64          `json:"backoff_ms,omitempty"`
+	BackoffCapMs    float64          `json:"backoff_cap_ms,omitempty"`
+	Seed            uint64           `json:"seed,omitempty"`
+	Events          []FaultEventSpec `json:"events,omitempty"`
+}
+
+// check validates the document-level domains. Shard ranges and per-shard
+// schedule ordering depend on the resolved shard count, so they stay
+// with serve.FaultPlan's own validation at Run start.
+func (f *FaultSpec) check() error {
+	if f.CheckpointEvery < 0 {
+		return fmt.Errorf("spec: faults: checkpoint_every %d < 0", f.CheckpointEvery)
+	}
+	switch f.Degraded {
+	case "", "fail", "stale":
+	default:
+		return fmt.Errorf("spec: faults: unknown degraded mode %q (want \"fail\" or \"stale\")", f.Degraded)
+	}
+	if f.TimeoutMs < 0 || f.Retries < 0 || f.BackoffMs < 0 || f.BackoffCapMs < 0 {
+		return fmt.Errorf("spec: faults: timeout_ms/retries/backoff_ms/backoff_cap_ms must be non-negative")
+	}
+	for i, ev := range f.Events {
+		if ev.Shard < 0 {
+			return fmt.Errorf("spec: faults: event %d: shard %d < 0", i, ev.Shard)
+		}
+		if ev.At < 1 {
+			return fmt.Errorf("spec: faults: event %d: at %d; trigger points start at 1", i, ev.At)
+		}
+		switch ev.Kind {
+		case "crash":
+			if ev.RecoverAfter < -1 {
+				return fmt.Errorf("spec: faults: event %d: recover_after %d < -1", i, ev.RecoverAfter)
+			}
+			if ev.StallMs != 0 {
+				return fmt.Errorf("spec: faults: event %d: crash with stall_ms", i)
+			}
+		case "stall":
+			if ev.StallMs <= 0 {
+				return fmt.Errorf("spec: faults: event %d: stall without a positive stall_ms", i)
+			}
+			if ev.RecoverAfter != 0 {
+				return fmt.Errorf("spec: faults: event %d: stall with recover_after", i)
+			}
+		default:
+			return fmt.Errorf("spec: faults: event %d: unknown kind %q (want \"crash\" or \"stall\")", i, ev.Kind)
+		}
+	}
+	return nil
+}
+
+// Plan resolves the spec to the serving layer's runtime fault plan.
+func (f *FaultSpec) Plan() *serve.FaultPlan {
+	p := &serve.FaultPlan{
+		CheckpointEvery: f.CheckpointEvery,
+		Timeout:         time.Duration(f.TimeoutMs * float64(time.Millisecond)),
+		Retries:         f.Retries,
+		Backoff:         time.Duration(f.BackoffMs * float64(time.Millisecond)),
+		BackoffCap:      time.Duration(f.BackoffCapMs * float64(time.Millisecond)),
+		Seed:            f.Seed,
+	}
+	if f.Degraded == "stale" {
+		p.Degraded = serve.DegradedStale
+	}
+	for _, ev := range f.Events {
+		e := serve.FaultEvent{Shard: ev.Shard, At: ev.At, RecoverAfter: ev.RecoverAfter}
+		if ev.Kind == "stall" {
+			e.Kind = serve.FaultStall
+			e.Stall = time.Duration(ev.StallMs * float64(time.Millisecond))
+		}
+		p.Events = append(p.Events, e)
+	}
+	return p
+}
+
 // LoadSpec is the complete description of one serving run — the document
 // cmd/ksanload executes: one network def served on one trace def under a
-// serve block. Like Experiment it is the unit of serialization
-// (Encode/DecodeLoad round-trip through JSON) and validates strictly.
+// serve block, optionally with a scripted fault schedule. Like Experiment
+// it is the unit of serialization (Encode/DecodeLoad round-trip through
+// JSON) and validates strictly.
 type LoadSpec struct {
 	Name    string     `json:"name,omitempty"`
 	Network NetworkDef `json:"network"`
 	Trace   TraceDef   `json:"trace"`
 	Serve   ServeDef   `json:"serve,omitempty"`
+	Faults  *FaultSpec `json:"faults,omitempty"`
 }
 
 // Validate checks the document without materializing the trace.
@@ -81,6 +180,11 @@ func (l *LoadSpec) Validate() error {
 	}
 	if err := l.Serve.check(); err != nil {
 		return fmt.Errorf("spec: load %q: %w", l.Name, err)
+	}
+	if l.Faults != nil {
+		if err := l.Faults.check(); err != nil {
+			return fmt.Errorf("spec: load %q: %w", l.Name, err)
+		}
 	}
 	return nil
 }
@@ -110,7 +214,11 @@ func (l *LoadSpec) Resolve() (func(n int) (sim.Network, error), workload.Generat
 		}
 		return net, nil
 	}
-	return mk, gen, l.Serve.Config(), nil
+	cfg := l.Serve.Config()
+	if l.Faults != nil {
+		cfg.Faults = l.Faults.Plan()
+	}
+	return mk, gen, cfg, nil
 }
 
 // Encode writes the document as indented JSON.

@@ -85,6 +85,129 @@ func TestServeDefConfig(t *testing.T) {
 	}
 }
 
+func TestFaultSpecRoundTrip(t *testing.T) {
+	l := validLoad()
+	l.Faults = &FaultSpec{
+		CheckpointEvery: 100, Degraded: "stale", TimeoutMs: 2.5, Retries: 3,
+		BackoffMs: 0.5, BackoffCapMs: 8, Seed: 99,
+		Events: []FaultEventSpec{
+			{Shard: 0, At: 50, Kind: "crash", RecoverAfter: 2},
+			{Shard: 1, At: 10, Kind: "stall", StallMs: 1.5},
+		},
+	}
+	var buf bytes.Buffer
+	if err := l.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeLoad(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, l) {
+		t.Errorf("round trip diverged:\n got %+v\nwant %+v", got, l)
+	}
+}
+
+func TestFaultSpecValidation(t *testing.T) {
+	crash := func(ev FaultEventSpec) *FaultSpec { return &FaultSpec{Events: []FaultEventSpec{ev}} }
+	for name, f := range map[string]*FaultSpec{
+		"negative checkpoint_every": {CheckpointEvery: -1},
+		"unknown degraded":          {Degraded: "panic"},
+		"negative timeout":          {TimeoutMs: -1},
+		"negative retries":          {Retries: -1},
+		"negative backoff":          {BackoffMs: -1},
+		"negative backoff cap":      {BackoffCapMs: -1},
+		"negative shard":            crash(FaultEventSpec{Shard: -1, At: 1, Kind: "crash"}),
+		"at zero":                   crash(FaultEventSpec{At: 0, Kind: "crash"}),
+		"unknown kind":              crash(FaultEventSpec{At: 1, Kind: "explode"}),
+		"recover_after below -1":    crash(FaultEventSpec{At: 1, Kind: "crash", RecoverAfter: -2}),
+		"crash with stall_ms":       crash(FaultEventSpec{At: 1, Kind: "crash", StallMs: 1}),
+		"stall without stall_ms":    crash(FaultEventSpec{At: 1, Kind: "stall"}),
+		"stall with recover_after":  crash(FaultEventSpec{At: 1, Kind: "stall", StallMs: 1, RecoverAfter: 1}),
+	} {
+		l := validLoad()
+		l.Faults = f
+		if err := l.Validate(); err == nil {
+			t.Errorf("%s: fault spec %+v must be rejected", name, f)
+		}
+	}
+	l := validLoad()
+	l.Faults = &FaultSpec{} // zero faults block is valid (defaults, no events)
+	if err := l.Validate(); err != nil {
+		t.Errorf("zero fault spec must validate, got %v", err)
+	}
+}
+
+// TestFaultSpecPlan pins the spec → runtime mapping: millisecond fields
+// become durations, kind/degraded strings become enums.
+func TestFaultSpecPlan(t *testing.T) {
+	f := &FaultSpec{
+		CheckpointEvery: 64, Degraded: "stale", TimeoutMs: 2.5, Retries: 2,
+		BackoffMs: 0.5, BackoffCapMs: 4, Seed: 7,
+		Events: []FaultEventSpec{
+			{Shard: 1, At: 9, Kind: "crash", RecoverAfter: -1},
+			{Shard: 0, At: 3, Kind: "stall", StallMs: 1.5},
+		},
+	}
+	p := f.Plan()
+	want := &serve.FaultPlan{
+		CheckpointEvery: 64, Degraded: serve.DegradedStale,
+		Timeout: 2500 * time.Microsecond, Retries: 2,
+		Backoff: 500 * time.Microsecond, BackoffCap: 4 * time.Millisecond, Seed: 7,
+		Events: []serve.FaultEvent{
+			{Shard: 1, At: 9, Kind: serve.FaultCrash, RecoverAfter: -1},
+			{Shard: 0, At: 3, Kind: serve.FaultStall, Stall: 1500 * time.Microsecond},
+		},
+	}
+	if !reflect.DeepEqual(p, want) {
+		t.Errorf("Plan() = %+v, want %+v", p, want)
+	}
+	if got := (&FaultSpec{}).Plan(); got.Degraded != serve.DegradedFail || got.CheckpointEvery != 0 {
+		t.Errorf("zero spec must plan to fail-fast defaults, got %+v", got)
+	}
+}
+
+// TestLoadSpecResolveFaulted resolves a faulted document end to end: the
+// fault plan reaches the serving config, and a lossless crash schedule
+// reproduces the fault-free totals exactly.
+func TestLoadSpecResolveFaulted(t *testing.T) {
+	base := validLoad()
+	base.Serve = ServeDef{Shards: 1, Clients: 1, LatencySample: -1}
+	mk, gen, cfg, err := base.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := serve.Run(context.Background(), cfg, mk, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulted := validLoad()
+	faulted.Serve = ServeDef{Shards: 1, Clients: 1, LatencySample: -1}
+	faulted.Faults = &FaultSpec{
+		CheckpointEvery: 100,
+		Events:          []FaultEventSpec{{Shard: 0, At: 250, Kind: "crash"}},
+	}
+	mk, gen, cfg, err = faulted.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Faults == nil {
+		t.Fatal("Resolve dropped the fault plan")
+	}
+	stats, err := serve.Run(context.Background(), cfg, mk, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Routing != clean.Routing || stats.Adjust != clean.Adjust || stats.Requests != clean.Requests {
+		t.Errorf("lossless faulted run diverged: got %d/%d/%d, want %d/%d/%d",
+			stats.Requests, stats.Routing, stats.Adjust, clean.Requests, clean.Routing, clean.Adjust)
+	}
+	if f := stats.Faults; f == nil || f.Crashes != 1 || f.Recoveries != 1 || f.ReplayedRequests != 50 {
+		t.Errorf("fault ledger = %+v, want 1 crash, 1 recovery, 50 replayed", stats.Faults)
+	}
+}
+
 // TestLoadSpecResolve runs a resolved document end to end through the
 // serving layer: the constructor sizes networks per shard and the
 // generator drives real requests.

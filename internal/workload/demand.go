@@ -94,6 +94,21 @@ func demandFromTraceCmp(tr Trace) *Demand {
 	return d
 }
 
+// Clone returns a deep copy of the demand (nil clones to nil). The policy
+// layer's compacted window aggregate is mutated in place by later Merge
+// calls, so checkpointing a net must copy it, not alias it.
+func (d *Demand) Clone() *Demand {
+	if d == nil {
+		return nil
+	}
+	c := &Demand{N: d.N, Total: d.Total}
+	if d.Pairs != nil {
+		c.Pairs = make([]PairCount, len(d.Pairs))
+		copy(c.Pairs, d.Pairs)
+	}
+	return c
+}
+
 // Merge folds other into d: counts of shared pairs sum, Total
 // accumulates, and the pair list stays sorted by (Src, Dst). Demand
 // aggregation is associative, so merging chunk-wise aggregates of a

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_PR9.json, the machine-readable perf baseline of the
+# fault-injection/recovery PR. It is a strict superset of the PR 8
+# serving-layer baseline — the BenchmarkLoad shard grid, the per-request
+# primitives (Route, Hist) and the sequential engine serve benchmarks —
+# plus the robustness machinery:
+#
+#   BenchmarkCheckpoint      one periodic snapshot into a reused
+#                            checkpoint (enforced contract: 0 allocs/op —
+#                            steady-state checkpoints reuse their arrays)
+#   BenchmarkRecovery        restore + full-interval replay, the worst-
+#                            case crash recovery (allocates by design:
+#                            once per recovery, never per request)
+#   BenchmarkFaultedLoad     end-to-end runs with a plan armed: "idle"
+#                            (checkpointing only) and "crash-recover"
+#                            (one lossless crash per shard)
+#
+# The superset shape is the point: CI regenerates one candidate from this
+# script and benchdiffs it against BOTH BENCH_PR8.json (the disarmed
+# serving path must keep its exact PR 8 allocation profile — zero
+# overhead when no fault schedule is configured) and BENCH_PR9.json (the
+# fault-path contracts above). Schema ksan-bench/v1 via cmd/benchjson;
+# ns/op is only meaningful when diffing two runs on one machine.
+#
+# Usage: scripts/bench_pr9.sh [output.json]
+#   BENCHTIME=1x scripts/bench_pr9.sh /tmp/check.json   # CI schema check
+#   BENCHTIME=2x scripts/bench_pr9.sh /tmp/cand.json    # CI benchdiff candidate
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR9.json}"
+benchtime="${BENCHTIME:-1s}"
+count="${COUNT:-1}" # repeats; benchjson keeps each benchmark's min
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+run() { # run <package> <bench regex> <benchtime> <count>
+  go test -run '^$' -bench "$2" -benchmem -benchtime "$3" -count "$4" "$1" >>"$tmp"
+}
+
+# The serving layer: the PR 8 grid and primitives, plus the fault path.
+run ./internal/serve 'BenchmarkLoad|BenchmarkFaultedLoad|BenchmarkRoute|BenchmarkHist|BenchmarkCheckpoint|BenchmarkRecovery' "$benchtime" "$count"
+# The sequential serve paths the front-end is built on: any regression
+# here is a serve-layer cost leaking into the single-threaded hot path.
+run . 'BenchmarkServeKAryTemporal|BenchmarkServeKAryUniform|BenchmarkServeSplayNetTemporal' "$benchtime" "$count"
+
+go run ./cmd/benchjson <"$tmp" >"$out"
+echo "bench_pr9: wrote $out ($(grep -c '"ns_per_op"' "$out") benchmarks at -benchtime=$benchtime)" >&2
