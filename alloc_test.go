@@ -46,6 +46,23 @@ func TestServeZeroAllocsKAry(t *testing.T) {
 	}
 }
 
+// TestServeZeroAllocsKAryLarge pins the zero-allocation contract at the
+// arities where the routing kernels and memmove-backed span moves carry
+// the serve path (k−1 = 7 unrolled, 15 and 31 bisect; merges up to 93
+// thresholds): the kernel dispatch is selected once at construction and
+// the rebuild scratch is preallocated, so widening k must not introduce
+// per-request allocations.
+func TestServeZeroAllocsKAryLarge(t *testing.T) {
+	tr := TemporalWorkload(255, 10000, 0.75, 4)
+	for _, k := range []int{8, 16, 32} {
+		net, err := NewKArySplayNet(255, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertServeZeroAllocs(t, net, tr)
+	}
+}
+
 func TestServeZeroAllocsKArySemiSplayOnly(t *testing.T) {
 	tr := TemporalWorkload(255, 10000, 0.5, 2)
 	tree, err := NewBalancedTree(255, 3)
@@ -107,6 +124,40 @@ func TestServeZeroAllocsSplayNet(t *testing.T) {
 		t.Fatal(err)
 	}
 	assertServeZeroAllocs(t, net, tr)
+}
+
+// TestRoutePathZeroAllocs pins RoutePath's scratch-buffer contract: after
+// one warm pass (during which the per-tree route buffer grows to the
+// longest path seen), repeatedly materializing routing paths allocates
+// nothing. Splays run between calls so the paths exercised keep changing
+// shape under the same buffer.
+func TestRoutePathZeroAllocs(t *testing.T) {
+	for _, k := range []int{2, 8, 32} {
+		tree, err := NewBalancedTree(255, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(k)))
+		step := func() {
+			u, v := 1+rng.Intn(255), 1+rng.Intn(255)
+			if u == v {
+				return
+			}
+			p := tree.RoutePath(u, v)
+			if p[0] != u || p[len(p)-1] != v {
+				t.Fatalf("k=%d: RoutePath(%d,%d) = %v", k, u, v, p)
+			}
+			a, b := tree.NodeByID(u), tree.NodeByID(v)
+			_, w := tree.DistanceLCA(a, b)
+			tree.SplayUntilParent(a, w.Parent())
+		}
+		for i := 0; i < 2000; i++ {
+			step()
+		}
+		if avg := testing.AllocsPerRun(2000, step); avg != 0 {
+			t.Errorf("k=%d: %.2f allocs per steady-state RoutePath, want 0", k, avg)
+		}
+	}
 }
 
 // TestRebuildPathZeroAllocs pins the contract one layer below Serve: the

@@ -7,6 +7,7 @@ package ksan
 // in ns/op).
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/ksan-net/ksan/internal/experiments"
@@ -37,6 +38,28 @@ func BenchmarkServeKAryTemporal(b *testing.B) {
 func BenchmarkServeKAryUniform(b *testing.B) {
 	tr := UniformWorkload(1023, 20000, 2)
 	benchServe(b, func() Network { n, _ := NewKArySplayNet(1023, 5); return n }, tr)
+}
+
+// BenchmarkServeKAryGrid sweeps the serve path across the arity axis the
+// paper generalizes over, on both trace families: exactly the grid where
+// the per-hop routing constant (the threshold search at every visited
+// node) turns from noise into the dominant term as k grows and trees
+// flatten. The k=5 uniform point duplicates BenchmarkServeKAryUniform so
+// the grid and the long-lived flagship key stay comparable.
+func BenchmarkServeKAryGrid(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		tr   Trace
+	}{
+		{"uniform", UniformWorkload(1023, 20000, 2)},
+		{"temporal", TemporalWorkload(1023, 20000, 0.75, 1)},
+	} {
+		for _, k := range []int{2, 5, 8, 16, 32} {
+			b.Run(fmt.Sprintf("%s/k=%d", tc.name, k), func(b *testing.B) {
+				benchServe(b, func() Network { n, _ := NewKArySplayNet(1023, k); return n }, tc.tr)
+			})
+		}
+	}
 }
 
 func BenchmarkServeCentroidTemporal(b *testing.B) {

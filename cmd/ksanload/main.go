@@ -9,7 +9,7 @@
 //	ksanload -load file.json [-format table|json|csv]
 //	         [-shards S] [-clients C] [-target OPS] [-warmup N]
 //	         [-max-requests M] [-duration 30s] [-latency-sample K]
-//	         [-rate] [-strip-timing] [-cpuprofile file]
+//	         [-rate] [-strip-timing] [-cpuprofile file] [-memprofile file]
 //
 // The load document (see DESIGN.md §11 and testdata/golden_load.json for
 // a sample) holds a network def, a trace def, a serve block, and
@@ -38,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"time"
 
@@ -59,10 +60,11 @@ func main() {
 	rate := flag.Bool("rate", false, "stream live aggregate requests/sec to stderr")
 	stripTiming := flag.Bool("strip-timing", false, "zero wall-clock-derived fields in json/csv output (deterministic golden mode)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile taken at run end to this file")
 	flag.Parse()
 
 	code, err := run(*load, *format, *shards, *clients, *target, *warmup,
-		*maxRequests, *duration, *latencySample, *rate, *stripTiming, *cpuprofile)
+		*maxRequests, *duration, *latencySample, *rate, *stripTiming, *cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ksanload:", err)
 	}
@@ -71,7 +73,7 @@ func main() {
 
 func run(load, format string, shards, clients int, target float64, warmup int,
 	maxRequests int64, duration time.Duration, latencySample int,
-	rate, stripTiming bool, cpuprofile string) (int, error) {
+	rate, stripTiming bool, cpuprofile, memprofile string) (int, error) {
 	if load == "" {
 		return 2, fmt.Errorf("-load is required (a JSON load document; see DESIGN.md §11)")
 	}
@@ -139,6 +141,22 @@ func run(load, format string, shards, clients int, target float64, warmup int,
 		defer func() {
 			pprof.StopCPUProfile()
 			pf.Close()
+		}()
+	}
+	// Like the CPU profile, the heap profile flushes in a defer so it is
+	// written even when the run itself fails — profiling a failing run is
+	// exactly when the data matters.
+	if memprofile != "" {
+		mf, err := os.Create(memprofile)
+		if err != nil {
+			return 2, err
+		}
+		defer func() {
+			runtime.GC() // settle accounting so the profile reflects live objects
+			if err := pprof.Lookup("heap").WriteTo(mf, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "ksanload: writing heap profile:", err)
+			}
+			mf.Close()
 		}()
 	}
 

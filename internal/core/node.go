@@ -71,15 +71,8 @@ func (nd *Node) Degree() int {
 // slotFor returns the child slot index that the search property assigns to
 // the target cut-space value at node ix: the number of thresholds strictly
 // less than the value, so that it falls in the interval (t(slot-1), t(slot)].
-// The span's thresholds ascend, so the scan stops at the first ≥ value.
+// The search runs through the tree's per-arity routing kernel (kernel.go):
+// branchless comparison counting instead of an early-exit scan.
 func (t *Tree) slotFor(ix int32, value int32) int {
-	sp := t.span(ix)
-	s := 0
-	for i := 1; i < len(sp); i += 2 {
-		if sp[i] >= value {
-			break
-		}
-		s++
-	}
-	return s
+	return t.kSpan(t.span(ix), value)
 }

@@ -30,22 +30,30 @@ func (t *Tree) SearchFromRoot(id int) ([]int, error) {
 // RoutePath returns the node ids along the routing path from u to v: the
 // reverse-search path up to their lowest common ancestor followed by the
 // greedy search path down to v. Its length minus one equals Distance.
+//
+// The returned slice is backed by a per-tree scratch buffer sized by the
+// fused DistanceLCA walk, so steady-state calls allocate nothing; it is
+// valid until the next RoutePath call on the same tree, and callers that
+// retain paths must copy. Like the rebuild scratch, this makes RoutePath
+// non-reentrant per tree (DESIGN.md §3 serve-path scratch ownership).
 func (t *Tree) RoutePath(u, v int) []int {
 	a, b := t.NodeByID(u), t.NodeByID(v)
-	w := t.LCA(a, b)
-	var up []int
+	dist, w := t.DistanceLCA(a, b)
+	if cap(t.routeBuf) < dist+1 {
+		t.routeBuf = make([]int, dist+1)
+	}
+	path := t.routeBuf[:dist+1]
+	i := 0
 	for ix := a.ix; ix != w.ix; ix = t.parent[ix] {
-		up = append(up, int(ix))
+		path[i] = int(ix)
+		i++
 	}
-	up = append(up, int(w.ix))
-	var down []int
-	for ix := b.ix; ix != w.ix; ix = t.parent[ix] {
-		down = append(down, int(ix))
+	path[i] = int(w.ix)
+	for j, ix := dist, b.ix; ix != w.ix; ix = t.parent[ix] {
+		path[j] = int(ix)
+		j--
 	}
-	for i := len(down) - 1; i >= 0; i-- {
-		up = append(up, down[i])
-	}
-	return up
+	return path
 }
 
 // NextHop returns the neighbor to which a node holding a packet for dst

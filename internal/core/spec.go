@@ -143,10 +143,11 @@ func (t *Tree) buildSpec(s *Spec, parent int32, lo, hi int, seen []bool) (int32,
 	// (ids are t.scale apart), so they only carve empty slots.
 	pad := t.k - 1 - len(ths)
 	if pad > 0 {
-		j := 0
-		for j < len(ths) && ths[j] < iv {
-			j++
-		}
+		// The pad-point search is the same strictly-less threshold count
+		// the routing kernels compute; construction is cold, so it uses
+		// the shared scalar reference (intervalIndex) the kernels are
+		// differentially pinned against.
+		j := intervalIndex(ths, iv)
 		// The slot j currently covers (ths[j-1], ths[j]] and contains iv.
 		// Decide on which side of the pads its child belongs.
 		var side int // -1: ids below the node id; +1: above; 0: empty slot

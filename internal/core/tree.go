@@ -40,6 +40,16 @@ type Tree struct {
 	// permanence).
 	nodes []Node
 
+	// Routing kernels, selected once at construction by threshold count
+	// (kernel.go): kSpan searches a node's own span (k−1 thresholds),
+	// kMerge2/kMerge3 search the d=2/d=3 rebuild merges (2(k−1) and
+	// 3(k−1) thresholds). Every greedy routing decision and every block
+	// placement goes through these; the scalar early-exit scan survives
+	// only as the reference oracle (slotScalar).
+	kSpan   slotKernel
+	kMerge2 slotKernel
+	kMerge3 slotKernel
+
 	rotations   int64
 	edgeChanges int64
 	trackEdges  bool
@@ -52,6 +62,10 @@ type Tree struct {
 	// supported (see DESIGN.md on serve-path reentrancy).
 	pathBuf [3]int32 // fragment path for edge-churn snapshots (d ≤ 3)
 	scratch []int32  // interleaved in-order expansion of the fragment
+
+	// routeBuf backs RoutePath results (grown to the longest path seen,
+	// never shrunk); same single-owner, non-reentrant rules as scratch.
+	routeBuf []int
 }
 
 // span returns node ix's interleaved child/threshold span of the packed
@@ -84,6 +98,10 @@ func newArena(n, k int) *Tree {
 		nodes:  make([]Node, n+1),
 
 		scratch: make([]int32, 3*(2*k-1)-2),
+
+		kSpan:   kernelForCount(k - 1),
+		kMerge2: kernelForCount(2 * (k - 1)),
+		kMerge3: kernelForCount(3 * (k - 1)),
 	}
 	for id := 1; id <= n; id++ {
 		t.nodes[id] = Node{t: t, ix: int32(id)}

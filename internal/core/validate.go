@@ -96,7 +96,9 @@ func (t *Tree) Validate() error {
 	if count != t.n {
 		return fmt.Errorf("core: tree holds %d nodes, want %d", count, t.n)
 	}
-	// Greedy search must find every id along its tree path.
+	// Greedy search must find every id along its tree path. Search runs
+	// through the selected routing kernel, so this also exercises the
+	// kernel on every span the tree currently holds.
 	for id := 1; id <= t.n; id++ {
 		path, err := t.SearchFromRoot(id)
 		if err != nil {
@@ -104,6 +106,30 @@ func (t *Tree) Validate() error {
 		}
 		if got, want := len(path)-1, t.depthIx(int32(id)); got != want {
 			return fmt.Errorf("core: search for %d took %d hops, node depth is %d", id, got, want)
+		}
+	}
+	// The selected span kernel must agree with the scalar reference on
+	// every live span, probed exactly where branchless arithmetic could
+	// plausibly diverge from the early-exit scan: at each threshold value
+	// itself (the ≥ boundary), one cut on either side of it, and the
+	// node's own id value.
+	for id := 1; id <= t.n; id++ {
+		sp := t.span(int32(id))
+		probe := func(v int32) error {
+			if got, want := t.kSpan(sp, v), slotScalar(sp, v); got != want {
+				return fmt.Errorf("core: node %d kernel slot %d for value %d, scalar reference says %d", id, got, v, want)
+			}
+			return nil
+		}
+		if err := probe(int32(t.idValue(id))); err != nil {
+			return err
+		}
+		for i := 1; i < len(sp); i += 2 {
+			for _, v := range [3]int32{sp[i] - 1, sp[i], sp[i] + 1} {
+				if err := probe(v); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	return nil

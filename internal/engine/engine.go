@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"github.com/ksan-net/ksan/internal/core"
+	"github.com/ksan-net/ksan/internal/hist"
 	"github.com/ksan-net/ksan/internal/sim"
 	"github.com/ksan-net/ksan/internal/workload"
 )
@@ -214,7 +215,7 @@ func (e *Engine) runOne(ctx context.Context, net sim.Network, gen workload.Gener
 	if total >= 0 && warm > total {
 		warm = total
 	}
-	var hist []int64
+	var h hist.Hist
 	var err error
 	bs, batch := net.(sim.BatchServer)
 	if batch {
@@ -223,9 +224,9 @@ func (e *Engine) runOne(ctx context.Context, net sim.Network, gen workload.Gener
 		}
 	}
 	if batch {
-		hist, err = e.runBatch(ctx, bs, gen, net.N(), warm, &res, emit, shardWorkers)
+		h, err = e.runBatch(ctx, bs, gen, net.N(), warm, &res, emit, shardWorkers)
 	} else {
-		hist, err = e.runSequential(ctx, net, gen, warm, &res, emit)
+		h, err = e.runSequential(ctx, net, gen, warm, &res, emit)
 	}
 	res.Elapsed = time.Since(start)
 	if secs := res.Elapsed.Seconds(); secs > 0 {
@@ -238,8 +239,8 @@ func (e *Engine) runOne(ctx context.Context, net sim.Network, gen workload.Gener
 			res.LinkChurn = churnTree.EdgeChanges() - churnBase
 		}
 	}
-	res.P50Routing = percentile(hist, res.Requests, 0.50)
-	res.P99Routing = percentile(hist, res.Requests, 0.99)
+	res.P50Routing = h.Percentile(0.50)
+	res.P99Routing = h.Percentile(0.99)
 	return res, err
 }
 
@@ -258,10 +259,10 @@ func (e *Engine) runOne(ctx context.Context, net sim.Network, gen workload.Gener
 // A stream error or (with validation on) an out-of-range request ends the
 // run like cancellation does: partial window flushed, contiguous prefix
 // measured, the error returned.
-func (e *Engine) runSequential(ctx context.Context, net sim.Network, gen workload.Generator, warm int, res *Result, emit func(Progress)) ([]int64, error) {
+func (e *Engine) runSequential(ctx context.Context, net sim.Network, gen workload.Generator, warm int, res *Result, emit func(Progress)) (hist.Hist, error) {
 	const checkEvery = 2048
 	n := net.N()
-	var hist []int64
+	var h hist.Hist
 	wStart := 0
 	var wRouting, wAdjust int64
 	flush := func(end int) {
@@ -274,11 +275,11 @@ func (e *Engine) runSequential(ctx context.Context, net sim.Network, gen workloa
 		wRouting, wAdjust = 0, 0
 	}
 	// fail ends the run at request index i without serving it.
-	fail := func(i int, err error) ([]int64, error) {
+	fail := func(i int, err error) (hist.Hist, error) {
 		if m := i - warm; m > 0 {
 			flush(m)
 		}
-		return hist, err
+		return h, err
 	}
 	i := 0
 	for rq, rerr := range gen.Requests() {
@@ -308,7 +309,7 @@ func (e *Engine) runSequential(ctx context.Context, net sim.Network, gen workloa
 		res.Requests++
 		res.Routing += c.Routing
 		res.Adjust += c.Adjust
-		hist = sim.ObserveHist(hist, c.Routing)
+		h.Observe(c.Routing)
 		if e.window > 0 {
 			wRouting += c.Routing
 			wAdjust += c.Adjust
@@ -321,7 +322,7 @@ func (e *Engine) runSequential(ctx context.Context, net sim.Network, gen workloa
 	if e.window <= 0 && i > 0 {
 		emit(Progress{Requests: i})
 	}
-	return hist, nil
+	return h, nil
 }
 
 // validateReq is the inline form of sim.Validate: one request checked as
@@ -345,7 +346,7 @@ func validateReq(rq sim.Request, i, n int) error {
 // to the former whole-slice sharding. Workers emit progress as their
 // chunks complete (cumulative served count, made monotone by taking the
 // counter update and the emit under one lock).
-func (e *Engine) runBatch(ctx context.Context, bs sim.BatchServer, gen workload.Generator, n, warm int, res *Result, emit func(Progress), shardWorkers int) ([]int64, error) {
+func (e *Engine) runBatch(ctx context.Context, bs sim.BatchServer, gen workload.Generator, n, warm int, res *Result, emit func(Progress), shardWorkers int) (hist.Hist, error) {
 	if shardWorkers < 1 {
 		shardWorkers = 1
 	}
@@ -385,7 +386,7 @@ func (e *Engine) runBatch(ctx context.Context, bs sim.BatchServer, gen workload.
 			res.WarmupAdjust = bc.Adjust
 		}
 		if rerr != nil {
-			return nil, rerr
+			return hist.Hist{}, rerr
 		}
 		warm = len(wbuf)
 	}

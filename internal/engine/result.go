@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"math"
 	"time"
 
 	"github.com/ksan-net/ksan/internal/sim"
@@ -77,22 +76,10 @@ type Progress struct {
 	CellsTotal int
 }
 
-// percentile returns the smallest routing cost c such that at least
-// ceil(q·total) of the measured requests cost at most c.
-func percentile(hist []int64, total int64, q float64) float64 {
-	if total == 0 {
-		return 0
-	}
-	rank := int64(math.Ceil(q * float64(total)))
-	if rank < 1 {
-		rank = 1
-	}
-	var cum int64
-	for c, n := range hist {
-		cum += n
-		if cum >= rank {
-			return float64(c)
-		}
-	}
-	return float64(len(hist) - 1)
-}
+// The percentile rule lives in internal/hist: P50Routing/P99Routing are
+// hist.Hist.Percentile values — "the smallest routing cost c such that at
+// least ceil(q·total) of the measured requests cost at most c". Routing
+// costs are path lengths inside the histogram's exact region, so the
+// reported percentiles are exact order statistics, bit-identical to the
+// cost-indexed count vector this package used before adopting the shared
+// histogram.

@@ -1,4 +1,4 @@
-package serve
+package hist
 
 import (
 	"math/rand"
@@ -30,13 +30,14 @@ func observeAll(h *Hist, vs []int64) {
 }
 
 // TestHistExactRegion pins the core accuracy claim: for values below
-// histBase (64) the histogram has exact unit buckets, so its percentiles
-// are bit-identical to the engine's sorted-sample rule at every quantile.
+// ExactLimit (64) the histogram has exact unit buckets, so its
+// percentiles are bit-identical to the engine's sorted-sample rule at
+// every quantile.
 func TestHistExactRegion(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	vs := make([]int64, 5000)
 	for i := range vs {
-		vs[i] = int64(rng.Intn(histBase)) // all exact
+		vs[i] = int64(rng.Intn(base)) // all exact
 	}
 	var h Hist
 	observeAll(&h, vs)
@@ -62,7 +63,7 @@ func TestHistExactRegion(t *testing.T) {
 
 // TestHistBoundedError pins the log-bucket accuracy bound: beyond the
 // exact region the reported percentile is a lower bound on the exact
-// order statistic with relative error at most 1/histSubHalf.
+// order statistic with relative error at most 1/subHalf.
 func TestHistBoundedError(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	vs := make([]int64, 20000)
@@ -79,52 +80,52 @@ func TestHistBoundedError(t *testing.T) {
 		if got > want {
 			t.Errorf("Percentile(%v) = %v exceeds exact %v (must be a lower bound)", q, got, want)
 		}
-		if want > 0 && (want-got)/want > 1.0/histSubHalf {
+		if want > 0 && (want-got)/want > 1.0/subHalf {
 			t.Errorf("Percentile(%v) = %v, exact %v: relative error %.4f > 1/%d",
-				q, got, want, (want-got)/want, histSubHalf)
+				q, got, want, (want-got)/want, subHalf)
 		}
 	}
 }
 
 // TestHistBucketRoundTrip checks the bucket geometry invariants for every
-// value near every power-of-two boundary: histLower(histBucket(v)) <= v,
+// value near every power-of-two boundary: lowerOf(bucketOf(v)) <= v,
 // bucket indices are monotone in v, and lower bounds are monotone in the
 // index.
 func TestHistBucketRoundTrip(t *testing.T) {
 	check := func(v int64) {
-		idx := histBucket(v)
-		if lo := histLower(idx); lo > v {
-			t.Fatalf("histLower(histBucket(%d)) = %d > %d", v, lo, v)
+		idx := bucketOf(v)
+		if lo := lowerOf(idx); lo > v {
+			t.Fatalf("lowerOf(bucketOf(%d)) = %d > %d", v, lo, v)
 		}
-		if idx+1 < histBucket(v) {
-			t.Fatalf("histBucket not monotone at %d", v)
+		if idx+1 < bucketOf(v) {
+			t.Fatalf("bucketOf not monotone at %d", v)
 		}
-		if histLower(idx+1) <= histLower(idx) {
-			t.Fatalf("histLower not monotone at index %d", idx)
+		if lowerOf(idx+1) <= lowerOf(idx) {
+			t.Fatalf("lowerOf not monotone at index %d", idx)
 		}
 	}
-	for _, base := range []int64{0, 1, 63, 64, 65, 127, 128, 1 << 20, 1 << 40, 1 << 62} {
+	for _, b := range []int64{0, 1, 63, 64, 65, 127, 128, 1 << 20, 1 << 40, 1 << 62} {
 		for d := int64(-2); d <= 2; d++ {
-			if v := base + d; v >= 0 {
+			if v := b + d; v >= 0 {
 				check(v)
 			}
 		}
 	}
-	// The relative width bound: bucket width / lower bound <= 1/histSubHalf
+	// The relative width bound: bucket width / lower bound <= 1/subHalf
 	// in the log region.
 	for exp := uint(7); exp < 63; exp++ {
 		v := int64(1) << exp
-		idx := histBucket(v)
-		width := histLower(idx+1) - histLower(idx)
-		if float64(width)/float64(histLower(idx)) > 1.0/histSubHalf {
-			t.Errorf("bucket %d (v=%d): width %d too wide for lower %d", idx, v, width, histLower(idx))
+		idx := bucketOf(v)
+		width := lowerOf(idx+1) - lowerOf(idx)
+		if float64(width)/float64(lowerOf(idx)) > 1.0/subHalf {
+			t.Errorf("bucket %d (v=%d): width %d too wide for lower %d", idx, v, width, lowerOf(idx))
 		}
 	}
 }
 
-// TestHistMerge pins the merge property the serving layer depends on:
-// merging per-client histograms in any grouping equals observing the
-// concatenated stream into one histogram.
+// TestHistMerge pins the merge property the concurrent measurement paths
+// depend on: merging per-client histograms in any grouping equals
+// observing the concatenated stream into one histogram.
 func TestHistMerge(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	parts := make([][]int64, 5)
@@ -181,15 +182,63 @@ func TestHistMerge(t *testing.T) {
 	}
 }
 
+// TestHistObserveN pins the batch-observation path the engine's
+// batch-cost accounting uses: ObserveN(v, n) must be indistinguishable
+// from n Observe(v) calls, including Min/Max/Sum bookkeeping, and
+// BucketCount must read exact-region counts back verbatim.
+func TestHistObserveN(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	var batched, single Hist
+	counts := map[int64]int64{}
+	for i := 0; i < 200; i++ {
+		v := int64(rng.Intn(200)) // spans exact and log regions
+		n := int64(1 + rng.Intn(7))
+		batched.ObserveN(v, n)
+		for j := int64(0); j < n; j++ {
+			single.Observe(v)
+		}
+		counts[v] += n
+	}
+	if batched.Count() != single.Count() || batched.Sum() != single.Sum() ||
+		batched.Min() != single.Min() || batched.Max() != single.Max() {
+		t.Fatalf("ObserveN summary diverges from repeated Observe: %+v vs %+v", batched, single)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if batched.Percentile(q) != single.Percentile(q) {
+			t.Errorf("Percentile(%v) = %v batched, %v single", q, batched.Percentile(q), single.Percentile(q))
+		}
+	}
+	for v, n := range counts {
+		if v < ExactLimit {
+			if got := batched.BucketCount(v); got != n {
+				t.Errorf("BucketCount(%d) = %d, want %d", v, got, n)
+			}
+		}
+	}
+	batched.ObserveN(5, 0) // zero count is a no-op
+	if batched.Count() != single.Count() {
+		t.Errorf("ObserveN(_, 0) changed the histogram")
+	}
+}
+
+// TestHistEmptyAndNegative pins the zero-value contract (an empty
+// histogram reports zeros everywhere, never divides by zero) and the
+// domain guard: observations are non-negative counts, so Observe and
+// ObserveN must reject negatives loudly rather than corrupt a bucket.
 func TestHistEmptyAndNegative(t *testing.T) {
 	var h Hist
 	if h.Percentile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
 		t.Errorf("empty histogram must report zeros")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Errorf("Observe(-1) must panic")
-		}
-	}()
-	h.Observe(-1)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s must panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Observe(-1)", func() { h.Observe(-1) })
+	mustPanic("ObserveN(-1, 2)", func() { h.ObserveN(-1, 2) })
+	mustPanic("ObserveN(1, -2)", func() { h.ObserveN(1, -2) })
 }

@@ -22,159 +22,11 @@
 // buffers (ROADMAP item 3's OneMeasurement shape).
 package serve
 
-import (
-	"fmt"
-	"math"
-	"math/bits"
-)
+import "github.com/ksan-net/ksan/internal/hist"
 
-// Log-bucket geometry. Values below histBase land in exact unit buckets;
-// beyond that each doubling of the value range is split into histSubHalf
-// linear sub-buckets, so the relative quantization error is bounded by
-// 1/histSubHalf ≈ 3%. Routing costs (tree-path lengths, at most a few
-// dozen edges) therefore record exactly, and only nanosecond-scale
-// latencies pay the bounded rounding — the standard HDR-histogram
-// trade-off.
-const (
-	histSubBits = 6
-	histBase    = 1 << histSubBits       // 64 exact unit buckets
-	histSubHalf = 1 << (histSubBits - 1) // 32 sub-buckets per octave beyond
-)
-
-// Hist is a streaming log-bucketed histogram over non-negative int64
-// values: O(1) Observe, O(buckets) Merge and Percentile, O(log(max))
-// buckets total — never a per-sample buffer. The zero value is an empty,
-// usable histogram. Hist is not safe for concurrent use; the serving
-// layer gives each client routine its own instances and merges them once
-// the run drains (Merge is associative and commutative, so any merge
-// grouping yields the same histogram).
-type Hist struct {
-	counts []int64
-	count  int64
-	sum    int64
-	min    int64 // valid only when count > 0
-	max    int64
-}
-
-// histBucket maps a value to its bucket index.
-func histBucket(v int64) int {
-	if v < histBase {
-		return int(v)
-	}
-	exp := bits.Len64(uint64(v)) - histSubBits - 1 // v in [histBase<<exp, histBase<<(exp+1))
-	return histBase + exp*histSubHalf + int(v>>uint(exp+1)) - histSubHalf
-}
-
-// histLower returns the smallest value that maps to bucket idx — the
-// representative Percentile reports, chosen as the lower bound so that in
-// the exact region the histogram's percentile definition coincides with
-// the engine's ("the smallest cost c such that at least ceil(q·total)
-// observations are ≤ c").
-func histLower(idx int) int64 {
-	if idx < histBase {
-		return int64(idx)
-	}
-	rel := idx - histBase
-	exp, sub := rel/histSubHalf, rel%histSubHalf
-	return int64(histSubHalf+sub) << uint(exp+1)
-}
-
-// Observe folds one value into the histogram. Negative values are a
-// caller bug (costs and latencies are non-negative) and panic.
-func (h *Hist) Observe(v int64) {
-	if v < 0 {
-		panic(fmt.Sprintf("serve: Hist.Observe(%d): negative value", v))
-	}
-	idx := histBucket(v)
-	if idx >= len(h.counts) {
-		grown := make([]int64, idx+1)
-		copy(grown, h.counts)
-		h.counts = grown
-	}
-	h.counts[idx]++
-	h.count++
-	h.sum += v
-	if h.count == 1 || v < h.min {
-		h.min = v
-	}
-	if v > h.max {
-		h.max = v
-	}
-}
-
-// Merge folds o into h. Merging is associative and commutative, so shard-
-// and client-local histograms combine into global percentiles in any
-// grouping. o is unchanged; a nil or empty o is a no-op.
-func (h *Hist) Merge(o *Hist) {
-	if o == nil || o.count == 0 {
-		return
-	}
-	if len(o.counts) > len(h.counts) {
-		grown := make([]int64, len(o.counts))
-		copy(grown, h.counts)
-		h.counts = grown
-	}
-	for i, n := range o.counts {
-		h.counts[i] += n
-	}
-	if h.count == 0 || o.min < h.min {
-		h.min = o.min
-	}
-	if o.max > h.max {
-		h.max = o.max
-	}
-	h.count += o.count
-	h.sum += o.sum
-}
-
-// Count returns the number of observations.
-func (h *Hist) Count() int64 { return h.count }
-
-// Sum returns the exact sum of all observations (tracked outside the
-// buckets, so it carries no quantization error).
-func (h *Hist) Sum() int64 { return h.sum }
-
-// Min returns the exact smallest observation (0 when empty).
-func (h *Hist) Min() int64 {
-	if h.count == 0 {
-		return 0
-	}
-	return h.min
-}
-
-// Max returns the exact largest observation (0 when empty).
-func (h *Hist) Max() int64 { return h.max }
-
-// Mean returns the exact arithmetic mean (0 when empty).
-func (h *Hist) Mean() float64 {
-	if h.count == 0 {
-		return 0
-	}
-	return float64(h.sum) / float64(h.count)
-}
-
-// Percentile returns the value at quantile q in [0,1]: the lower bound of
-// the first bucket whose cumulative count reaches ceil(q·count) — in the
-// exact region (values < 64) bit-identical to the engine's sorted-sample
-// percentile rule, beyond it a lower bound within 1/32 of the exact
-// order statistic. Returns 0 on an empty histogram.
-func (h *Hist) Percentile(q float64) float64 {
-	if h.count == 0 {
-		return 0
-	}
-	rank := int64(math.Ceil(q * float64(h.count)))
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > h.count {
-		rank = h.count
-	}
-	var cum int64
-	for idx, n := range h.counts {
-		cum += n
-		if cum >= rank {
-			return float64(histLower(idx))
-		}
-	}
-	return float64(h.max) // unreachable: cum reaches count >= rank
-}
+// Hist is the shared streaming log-bucketed histogram (internal/hist),
+// re-exported under its historical name. It started here as the serving
+// layer's bounded-memory percentile sketch and was lifted into its own
+// package when the sequential engine adopted the same accounting; the
+// alias keeps the serving API and its callers stable.
+type Hist = hist.Hist

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"github.com/ksan-net/ksan/internal/hist"
 )
 
 // Cost is the price of serving a single communication request.
@@ -70,19 +72,21 @@ func (r Result) AvgTotal() float64 {
 
 // BatchCost aggregates the cost of serving a slice of requests, together
 // with the per-request routing-cost histogram the engine needs for
-// percentile reporting: Hist[c] counts the requests whose routing cost was
-// exactly c edges.
+// percentile reporting. The histogram is the shared streaming log-bucketed
+// hist.Hist (bounded memory, mergeable): routing costs are tree-path
+// lengths, so in practice they sit in its exact region and percentiles
+// over them are exact order statistics.
 type BatchCost struct {
 	Routing int64
 	Adjust  int64
-	Hist    []int64
+	Hist    hist.Hist
 }
 
 // Observe folds one request's cost into the batch aggregate.
 func (b *BatchCost) Observe(c Cost) {
 	b.Routing += c.Routing
 	b.Adjust += c.Adjust
-	b.Hist = ObserveHist(b.Hist, c.Routing)
+	b.Hist.Observe(c.Routing)
 }
 
 // Merge folds another batch aggregate into b (associative, so shards
@@ -90,21 +94,7 @@ func (b *BatchCost) Observe(c Cost) {
 func (b *BatchCost) Merge(o BatchCost) {
 	b.Routing += o.Routing
 	b.Adjust += o.Adjust
-	if len(o.Hist) > len(b.Hist) {
-		b.Hist = append(b.Hist, make([]int64, len(o.Hist)-len(b.Hist))...)
-	}
-	for c, n := range o.Hist {
-		b.Hist[c] += n
-	}
-}
-
-// ObserveHist increments hist[cost], growing the histogram as needed.
-func ObserveHist(hist []int64, cost int64) []int64 {
-	for int64(len(hist)) <= cost {
-		hist = append(hist, 0)
-	}
-	hist[cost]++
-	return hist
+	b.Hist.Merge(&o.Hist)
 }
 
 // BatchServer is an optional Network extension for topologies whose Serve

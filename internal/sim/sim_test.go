@@ -85,8 +85,11 @@ func TestBatchCostObserveAndMerge(t *testing.T) {
 	if a.Routing != 9 || a.Adjust != 4 {
 		t.Fatalf("merged totals %d/%d", a.Routing, a.Adjust)
 	}
-	if a.Hist[2] != 2 || a.Hist[5] != 1 {
-		t.Fatalf("merged hist %v", a.Hist)
+	if a.Hist.BucketCount(2) != 2 || a.Hist.BucketCount(5) != 1 {
+		t.Fatalf("merged hist counts %d/%d", a.Hist.BucketCount(2), a.Hist.BucketCount(5))
+	}
+	if a.Hist.Count() != 3 || a.Hist.Sum() != 9 {
+		t.Fatalf("merged hist summary %d/%d", a.Hist.Count(), a.Hist.Sum())
 	}
 }
 

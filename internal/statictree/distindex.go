@@ -131,7 +131,7 @@ func (ix *DistIndex) ServeBatch(reqs []sim.Request) sim.BatchCost {
 	for _, rq := range reqs {
 		d := ix.Dist(rq.Src, rq.Dst)
 		bc.Routing += d
-		bc.Hist = sim.ObserveHist(bc.Hist, d)
+		bc.Hist.Observe(d)
 	}
 	return bc
 }

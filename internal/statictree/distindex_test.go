@@ -60,10 +60,13 @@ func TestServeBatchMatchesServe(t *testing.T) {
 	if bc.Routing != routing || bc.Adjust != 0 {
 		t.Fatalf("batch %d/%d, serve %d/0", bc.Routing, bc.Adjust, routing)
 	}
-	for c, n := range bc.Hist {
-		if n != hist[int64(c)] {
-			t.Errorf("hist[%d]=%d, serve path says %d", c, n, hist[int64(c)])
+	for c, n := range hist {
+		if got := bc.Hist.BucketCount(c); got != n {
+			t.Errorf("hist[%d]=%d, serve path says %d", c, got, n)
 		}
+	}
+	if bc.Hist.Count() != int64(len(reqs)) {
+		t.Errorf("hist count %d, want %d", bc.Hist.Count(), len(reqs))
 	}
 	var _ sim.BatchServer = net // the static net must satisfy the batch surface
 }

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_PR10.json, the machine-readable perf baseline of the
+# routing-kernel PR. It is a strict superset of the PR 9 fault/serving
+# baseline — the shard grid, per-request primitives, fault machinery and
+# the sequential flagship serve keys — plus the kernel layer the serve
+# hot path now dispatches through:
+#
+#   BenchmarkServeKAryGrid   the serve path across the arity axis
+#                            (uniform and temporal, k ∈ {2,5,8,16,32}) —
+#                            the grid where the per-node threshold search
+#                            grows from noise into the dominant term
+#   BenchmarkSlotFor         the kernel microbenchmark grid: every kernel
+#                            family (scalar scan, unrolled, SWAR, bisect,
+#                            deinterleaved-plane variants) × the threshold
+#                            counts served arities produce (node spans and
+#                            d=2/d=3 rebuild merges) — the evidence behind
+#                            kernelForCount's three regimes (DESIGN.md §13)
+#   BenchmarkMov             scalar loop vs copy()/memmove on the span
+#                            lengths rebuilds move; sets movCopyMin
+#
+# The superset shape is the point: CI regenerates one candidate from this
+# script and benchdiffs it against BOTH BENCH_PR9.json (the serving layer
+# and disarmed/armed fault paths must keep their exact allocation
+# profiles — kernel dispatch is selected once at construction and must
+# cost nothing per request) and BENCH_PR10.json (the kernel grid and the
+# widened serve grid stay allocation-free). Schema ksan-bench/v1 via
+# cmd/benchjson; ns/op is only meaningful when diffing two runs on one
+# machine.
+#
+# Usage: scripts/bench_pr10.sh [output.json]
+#   BENCHTIME=1x scripts/bench_pr10.sh /tmp/check.json   # CI schema check
+#   BENCHTIME=2x scripts/bench_pr10.sh /tmp/cand.json    # CI benchdiff candidate
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR10.json}"
+benchtime="${BENCHTIME:-1s}"
+count="${COUNT:-1}" # repeats; benchjson keeps each benchmark's min
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+run() { # run <package> <bench regex> <benchtime> <count>
+  go test -run '^$' -bench "$2" -benchmem -benchtime "$3" -count "$4" "$1" >>"$tmp"
+}
+
+# The serving layer: the PR 8 grid and primitives, plus the fault path —
+# unchanged from bench_pr9.sh so the candidate diffs cleanly against it.
+run ./internal/serve 'BenchmarkLoad|BenchmarkFaultedLoad|BenchmarkRoute|BenchmarkHist|BenchmarkCheckpoint|BenchmarkRecovery' "$benchtime" "$count"
+# The sequential serve paths: the long-lived flagship keys plus the arity
+# grid the kernels were built for (k ∈ {2,5,8,16,32} on both families).
+run . 'BenchmarkServeKAryTemporal|BenchmarkServeKAryUniform|BenchmarkServeSplayNetTemporal|BenchmarkServeKAryGrid' "$benchtime" "$count"
+# The kernel layer itself: the per-fragment microbenchmark grid and the
+# span-move crossover behind movCopyMin.
+run ./internal/core 'BenchmarkSlotFor|BenchmarkMov' "$benchtime" "$count"
+
+go run ./cmd/benchjson <"$tmp" >"$out"
+echo "bench_pr10: wrote $out ($(grep -c '"ns_per_op"' "$out") benchmarks at -benchtime=$benchtime)" >&2
